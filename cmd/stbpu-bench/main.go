@@ -1,0 +1,159 @@
+// Command stbpu-bench regenerates every table and figure of the paper's
+// evaluation (§VII) and prints them as text tables; EXPERIMENTS.md records
+// the paper-vs-measured comparison these outputs feed.
+//
+// Usage:
+//
+//	stbpu-bench -all                      # everything at default scale
+//	stbpu-bench -fig3 -records 250000     # full-scale Fig. 3 only
+//	stbpu-bench -fig5 -pairs 8            # first 8 SMT pairs
+//	stbpu-bench -thresholds               # §VI-A.5 numbers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stbpu/internal/analysis"
+	"stbpu/internal/experiments"
+)
+
+func main() {
+	var (
+		fig3       = flag.Bool("fig3", false, "run the Fig. 3 OAE comparison")
+		fig4       = flag.Bool("fig4", false, "run the Fig. 4 single-workload CPU evaluation")
+		fig5       = flag.Bool("fig5", false, "run the Fig. 5 SMT evaluation")
+		fig6       = flag.Bool("fig6", false, "run the Fig. 6 threshold sweep")
+		thresholds = flag.Bool("thresholds", false, "print the §VI-A.5 attack complexities and thresholds")
+		table1     = flag.Bool("table1", false, "run the Table I attack surface against both models")
+		defensesF  = flag.Bool("defenses", false, "run the §VIII related-work comparison (accuracy + attack matrix)")
+		covert     = flag.Bool("covert", false, "run the PHT covert-channel capacity comparison")
+		gamma      = flag.Bool("gamma", false, "print the Γ-sweep security table (epoch success vs r)")
+		ittageF    = flag.Bool("ittage", false, "run the ITTAGE indirect-predictor extension comparison")
+		warmup     = flag.Bool("warmup", false, "run the warm-state curve (flush penalty vs trace length)")
+		all        = flag.Bool("all", false, "run everything")
+		records    = flag.Int("records", 120_000, "records per workload trace")
+		workloads  = flag.Int("workloads", 0, "cap the workload list (0 = all)")
+		pairs      = flag.Int("pairs", 0, "cap the SMT pair list (0 = all)")
+	)
+	flag.Parse()
+
+	if !(*fig3 || *fig4 || *fig5 || *fig6 || *thresholds || *table1 || *defensesF || *covert || *gamma || *ittageF || *warmup || *all) {
+		*all = true
+	}
+	scale := experiments.Scale{Records: *records, MaxWorkloads: *workloads, MaxPairs: *pairs}
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "stbpu-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *all || *thresholds {
+		run("SectionVI thresholds", func() error {
+			experiments.RunThresholds(0.05).Render(os.Stdout)
+			return nil
+		})
+	}
+	if *all || *table1 {
+		run("TableI attack surface", func() error {
+			experiments.RunTableI(20_000).Render(os.Stdout)
+			return nil
+		})
+	}
+	if *all || *defensesF {
+		run("Defense comparison (§VIII head-to-head)", func() error {
+			acc, err := experiments.RunDefenseAccuracy(scale)
+			if err != nil {
+				return err
+			}
+			acc.Render(os.Stdout)
+			fmt.Println()
+			experiments.RunDefenseMatrix().Render(os.Stdout)
+			return nil
+		})
+	}
+	if *all || *covert {
+		run("PHT covert-channel capacity", func() error {
+			experiments.RunCovertComparison(512).Render(os.Stdout)
+			return nil
+		})
+	}
+	if *all || *gamma {
+		run("Gamma sweep (security side of Fig. 6)", func() error {
+			fmt.Printf("%-10s %14s %14s %14s %16s\n",
+				"r", "misp Γ", "evict Γ", "P(epoch)", "epochs to 50%")
+			for _, row := range analysis.GammaSweep([]float64{0.05, 0.005, 5e-4, 5e-5, 5e-6, 5e-7}) {
+				fmt.Printf("%-10.0e %14.3e %14.3e %14.5f %16.3e\n",
+					row.R, row.MispThreshold, row.EvictThreshold, row.EpochSuccess, row.EpochsFor50)
+			}
+			return nil
+		})
+	}
+	if *all || *ittageF {
+		run("ITTAGE indirect-prediction extension", func() error {
+			res, err := experiments.RunITTAGE(scale)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			return nil
+		})
+	}
+	if *all || *warmup {
+		run("Warm-state curve", func() error {
+			res, err := experiments.RunWarmup("mysql_128con_50s", []int{10_000, 40_000, 160_000})
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			return nil
+		})
+	}
+	if *all || *fig3 {
+		run("Fig3 overall prediction accuracy", func() error {
+			res, err := experiments.RunFig3(scale)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			return nil
+		})
+	}
+	if *all || *fig4 {
+		run("Fig4 single-workload CPU evaluation", func() error {
+			res, err := experiments.RunFig4(scale)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			return nil
+		})
+	}
+	if *all || *fig5 {
+		run("Fig5 SMT evaluation", func() error {
+			res, err := experiments.RunFig5(scale)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			return nil
+		})
+	}
+	if *all || *fig6 {
+		run("Fig6 aggressive re-randomization", func() error {
+			res, err := experiments.RunFig6(scale, nil)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			return nil
+		})
+	}
+}

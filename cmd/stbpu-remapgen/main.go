@@ -1,0 +1,122 @@
+// Command stbpu-remapgen runs the automated remap-function generator of
+// §V-A: given hardware constraints, it searches for S-box/P-box/compression
+// circuits meeting C1 (single-cycle), validates C2 (uniformity) and C3
+// (avalanche), and prints the winning design with its metrics — the
+// software equivalent of the paper's Fig. 2 construction.
+//
+// Usage:
+//
+//	stbpu-remapgen                  # generate all six Table II functions
+//	stbpu-remapgen -func R1 -samples 10000
+//	stbpu-remapgen -table2          # print Table II widths
+//	stbpu-remapgen -maxpath 36      # tighter critical-path budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"path/filepath"
+
+	"stbpu/internal/remap"
+	"stbpu/internal/rng"
+)
+
+func main() {
+	var (
+		fn       = flag.String("func", "all", "function to generate: R1|R2|R3|R4|Rt|Rp|all")
+		samples  = flag.Int("samples", 2048, "validation samples per candidate")
+		cands    = flag.Int("candidates", 8, "constraint-satisfying candidates to score")
+		maxPath  = flag.Int("maxpath", 45, "max transistors on the critical path (C1)")
+		table2   = flag.Bool("table2", false, "print Table II and exit")
+		deepEval = flag.Int("deepeval", 0, "re-validate the winner with this many samples (0 = skip)")
+		seed     = flag.Uint64("seed", 0, "search seed (0 = derived from function name)")
+		saveDir  = flag.String("save", "", "directory to write <func>.circuit text files into")
+		netlist  = flag.Bool("netlist", false, "also write <func>.v gate-level netlists (requires -save)")
+	)
+	flag.Parse()
+
+	if *table2 {
+		fmt.Printf("%-5s %12s %10s %8s  %s\n", "func", "baseline-in", "stbpu-in", "out", "output fields")
+		for _, row := range remap.TableII() {
+			fmt.Printf("%-5s %12d %10d %8d  %s\n",
+				row.Name, row.BaselineInBits, row.STBPUInBits, row.OutBits, row.OutDesc)
+		}
+		return
+	}
+
+	specs := map[string][2]int{
+		"R1": {80, 22}, "R2": {90, 8}, "R3": {80, 14},
+		"R4": {96, 14}, "Rt": {96, 25}, "Rp": {80, 10},
+	}
+	names := []string{"R1", "R2", "R3", "R4", "Rt", "Rp"}
+	if *fn != "all" {
+		if _, ok := specs[*fn]; !ok {
+			fmt.Fprintf(os.Stderr, "stbpu-remapgen: unknown function %q\n", *fn)
+			os.Exit(1)
+		}
+		names = []string{*fn}
+	}
+
+	constraints := remap.DefaultConstraints
+	constraints.MaxCriticalPath = *maxPath
+
+	for _, name := range names {
+		io := specs[name]
+		cfg := remap.GenConfig{
+			Name: name, InBits: io[0], OutBits: io[1],
+			Constraints: constraints,
+			Candidates:  *cands, Samples: *samples, Seed: *seed,
+		}
+		circuit, quality, err := remap.Generate(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stbpu-remapgen: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		cost := remap.DefaultCostModel.Estimate(circuit)
+		fmt.Printf("%s\n", circuit)
+		fmt.Printf("  C1: critical path %d transistors (budget %d), total %d, layers %d, max crossover %d\n",
+			cost.CriticalPath, constraints.MaxCriticalPath, cost.Total, cost.Layers, cost.MaxCrossover)
+		fmt.Printf("  C2: bin-CV excess over Poisson floor %.4f\n", quality.BinCV)
+		fmt.Printf("  C3: avalanche mean %.4f (ideal 0.5), CV %.4f, per-bit spread %.4f\n",
+			quality.AvalancheMean, quality.AvalancheCV, quality.PerBitSpread)
+		fmt.Printf("  score %.4f over %d samples\n", quality.Score(), quality.Samples)
+		if *deepEval > 0 {
+			deep := remap.EvaluateCircuit(circuit, *deepEval, rng.NewFromString("deepeval:"+name))
+			fmt.Printf("  deep validation (%d samples): avalanche %.4f, CV %.4f, spread %.4f, bin excess %.4f\n",
+				*deepEval, deep.AvalancheMean, deep.AvalancheCV, deep.PerBitSpread, deep.BinCV)
+		}
+		if *saveDir != "" {
+			text, err := circuit.MarshalText()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "stbpu-remapgen: marshal %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*saveDir, name+".circuit")
+			if err := os.WriteFile(path, text, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "stbpu-remapgen: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  saved %s\n", path)
+			if *netlist {
+				vpath := filepath.Join(*saveDir, name+".v")
+				f, err := os.Create(vpath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "stbpu-remapgen: %v\n", err)
+					os.Exit(1)
+				}
+				if err := circuit.WriteNetlist(f); err != nil {
+					fmt.Fprintf(os.Stderr, "stbpu-remapgen: netlist %s: %v\n", name, err)
+					os.Exit(1)
+				}
+				if err := f.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "stbpu-remapgen: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("  saved %s\n", vpath)
+			}
+		}
+		fmt.Println()
+	}
+}

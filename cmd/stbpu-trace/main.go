@@ -1,0 +1,208 @@
+// Command stbpu-trace generates, inspects, and converts branch traces —
+// the workflow the paper performs with Intel PT tooling (§VII-B1), over
+// this repository's synthetic workloads and two binary formats:
+//
+//	STBT — the record-level delta codec (internal/trace)
+//	STPT — the Intel-PT-style packet stream (internal/pt)
+//
+// Usage:
+//
+//	stbpu-trace list                                  # preset names
+//	stbpu-trace gen -preset 505.mcf -n 100000 -o mcf.stbt
+//	stbpu-trace gen -preset 505.mcf -n 100000 -format stpt -o mcf.stpt
+//	stbpu-trace info mcf.stbt                         # composition stats
+//	stbpu-trace convert mcf.stbt mcf.stpt             # format by extension
+//	stbpu-trace convert mcf.stpt mcf.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"stbpu/internal/pt"
+	"stbpu/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "stbpu-trace: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stbpu-trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  stbpu-trace list
+  stbpu-trace gen -preset NAME -n RECORDS [-format stbt|stpt|csv] -o FILE
+  stbpu-trace info FILE
+  stbpu-trace convert SRC DST`)
+}
+
+func cmdList() error {
+	names := trace.PresetNames()
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Println(n)
+	}
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	preset := fs.String("preset", "505.mcf", "workload preset (see `stbpu-trace list`)")
+	n := fs.Int("n", 100_000, "records to generate")
+	format := fs.String("format", "", "output format: stbt, stpt, or csv (default: by -o extension)")
+	out := fs.String("o", "", "output file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("gen: -o is required")
+	}
+	prof, err := trace.Preset(*preset)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.Generate(prof.WithRecords(*n))
+	if err != nil {
+		return err
+	}
+	f := *format
+	if f == "" {
+		f = formatByExt(*out)
+	}
+	if err := writeTrace(*out, f, tr); err != nil {
+		return err
+	}
+	fi, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d records, %d bytes (%.2f bytes/record, %s)\n",
+		*out, len(tr.Records), fi.Size(),
+		float64(fi.Size())/float64(len(tr.Records)), f)
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("info: exactly one file expected")
+	}
+	tr, format, err := readTrace(args[0])
+	if err != nil {
+		return err
+	}
+	s := tr.ComputeStats()
+	fmt.Printf("name:             %s\n", tr.Name)
+	fmt.Printf("format:           %s\n", format)
+	fmt.Printf("records:          %d\n", s.Total)
+	for k := trace.KindCond; k <= trace.KindReturn; k++ {
+		fmt.Printf("  %-14s  %d\n", k.String()+":", s.ByKind[k])
+	}
+	if s.Conds > 0 {
+		fmt.Printf("taken cond rate:  %.3f\n", float64(s.TakenConds)/float64(s.Conds))
+	}
+	fmt.Printf("processes:        %d\n", s.Processes)
+	fmt.Printf("context switches: %d\n", s.ContextSwitches)
+	fmt.Printf("mode switches:    %d\n", s.ModeSwitches)
+	fmt.Printf("kernel records:   %d\n", s.KernelRecords)
+	return nil
+}
+
+func cmdConvert(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("convert: SRC and DST expected")
+	}
+	tr, _, err := readTrace(args[0])
+	if err != nil {
+		return err
+	}
+	dstFormat := formatByExt(args[1])
+	if err := writeTrace(args[1], dstFormat, tr); err != nil {
+		return err
+	}
+	fi, err := os.Stat(args[1])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s -> %s (%s, %d bytes)\n", args[0], args[1], dstFormat, fi.Size())
+	return nil
+}
+
+func formatByExt(path string) string {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".stpt":
+		return "stpt"
+	case ".csv":
+		return "csv"
+	default:
+		return "stbt"
+	}
+}
+
+func writeTrace(path, format string, tr *trace.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch format {
+	case "stbt":
+		err = trace.Write(f, tr)
+	case "stpt":
+		_, err = pt.Encode(f, tr)
+	case "csv":
+		err = trace.WriteCSV(f, tr)
+	default:
+		err = fmt.Errorf("unknown format %q", format)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func readTrace(path string) (*trace.Trace, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	switch format := formatByExt(path); format {
+	case "stpt":
+		tr, err := pt.Decode(f)
+		return tr, format, err
+	case "csv":
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		tr, err := trace.ReadCSV(f, name)
+		return tr, format, err
+	default:
+		tr, err := trace.Read(f)
+		return tr, format, err
+	}
+}

@@ -1,0 +1,72 @@
+package stbpu_test
+
+// Godoc examples for the public façade. Each runs as a test; outputs are
+// deterministic under the fixed seeds.
+
+import (
+	"fmt"
+
+	"stbpu"
+)
+
+// ExampleSimulate shows the core protected-vs-unprotected comparison.
+func ExampleSimulate() {
+	tr, err := stbpu.GenerateWorkload("505.mcf", 50_000)
+	if err != nil {
+		panic(err)
+	}
+	protected := stbpu.NewProtected(stbpu.Config{Predictor: stbpu.SKLCond, Seed: 1})
+	baseline := stbpu.NewUnprotected(stbpu.SKLCond)
+
+	p := stbpu.Simulate(protected, tr)
+	b := stbpu.Simulate(baseline, tr)
+	fmt.Printf("protection is nearly free: %v\n", p.OAE() > 0.99*b.OAE())
+	// Output:
+	// protection is nearly free: true
+}
+
+// ExampleDeriveThresholds shows the paper's Γ = r·C derivation.
+func ExampleDeriveThresholds() {
+	th := stbpu.DeriveThresholds(0.05)
+	fmt.Printf("misprediction budget %d, eviction budget %d\n",
+		th.Mispredictions, th.Evictions)
+	// Output:
+	// misprediction budget 41900, eviction budget 26500
+}
+
+// ExampleNewDefense compares a related-work design against STBPU on the
+// same workload.
+func ExampleNewDefense() {
+	tr, err := stbpu.GenerateWorkload("apache2_prefork_c128", 40_000)
+	if err != nil {
+		panic(err)
+	}
+	zhao := stbpu.Simulate(stbpu.NewDefense(stbpu.ZhaoDAC21, 1), tr)
+	st := stbpu.Simulate(stbpu.NewProtected(stbpu.Config{Seed: 1, SharedTokens: true}), tr)
+	fmt.Printf("STBPU retains more accuracy than Zhao-DAC21: %v\n", st.OAE() > zhao.OAE())
+	// Output:
+	// STBPU retains more accuracy than Zhao-DAC21: true
+}
+
+// ExampleSimulateMany fans a workload sweep out over all CPUs.
+func ExampleSimulateMany() {
+	var runs []stbpu.Run
+	for _, name := range []string{"505.mcf", "541.leela", "519.lbm"} {
+		tr, err := stbpu.GenerateWorkload(name, 20_000)
+		if err != nil {
+			panic(err)
+		}
+		runs = append(runs, stbpu.Run{
+			Name:     name,
+			NewModel: func() stbpu.Model { return stbpu.NewProtected(stbpu.Config{Seed: 7}) },
+			Trace:    tr,
+		})
+	}
+	for _, res := range stbpu.SimulateMany(runs) {
+		fmt.Printf("%s: %d records\n", res.Model, res.Records)
+	}
+	// Output:
+	// 505.mcf: 20000 records
+	// 541.leela: 20000 records
+	// 519.lbm: 20000 records
+}

@@ -1,0 +1,40 @@
+// Covertchannel demonstrates a BPU covert channel and its elimination: a
+// trojan (sender) and spy (receiver) in different processes communicate
+// through PHT collision state, bypassing every software isolation
+// boundary. On the unprotected baseline the channel moves ~1 bit per
+// symbol essentially error-free; under STBPU the keyed PHT indexing
+// decorrelates the two processes' views and the capacity collapses to
+// ~0 — and with aggressive thresholds the signalling traffic itself trips
+// token re-randomization.
+package main
+
+import (
+	"fmt"
+
+	"stbpu/internal/attacks"
+	"stbpu/internal/token"
+)
+
+func main() {
+	const bits = 1024
+
+	fmt.Println("=== PHT covert channel: trojan -> spy across processes ===")
+	fmt.Printf("transmitting %d random bits through PHT collisions\n\n", bits)
+
+	base := attacks.PHTCovertChannel(attacks.NewBaselineTarget(), bits, 0xfeed)
+	fmt.Printf("baseline: error rate %.3f, capacity %.3f bits/symbol, %.1f usable bits/krecord\n",
+		base.ErrorRate(), base.CapacityPerSymbol(), base.BandwidthBitsPerKRecord())
+
+	st := attacks.PHTCovertChannel(attacks.NewSTBPUTarget(nil), bits, 0xfeed)
+	fmt.Printf("STBPU:    error rate %.3f, capacity %.3f bits/symbol, %.3f usable bits/krecord\n",
+		st.ErrorRate(), st.CapacityPerSymbol(), st.BandwidthBitsPerKRecord())
+
+	// A sensitive process can be given tighter thresholds (§IV-A): then
+	// merely *operating* the channel triggers re-randomizations the OS
+	// can observe and alert on.
+	th := token.Thresholds{Mispredictions: 128, Evictions: 128}
+	hot := attacks.PHTCovertChannel(attacks.NewSTBPUTarget(&th), bits, 0xfeed)
+	fmt.Printf("\nwith aggressive thresholds (Γ=128): %d re-randomizations during the attempt —\n",
+		hot.Rerandomizations)
+	fmt.Println("the channel is not just closed, its operation is detectable.")
+}

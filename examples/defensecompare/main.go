@@ -1,0 +1,38 @@
+// Defensecompare runs the §VIII related-work head-to-head: the published
+// alternative secure-BPU designs (BRB, BSUP, Zhao-DAC21, Exynos-XOR)
+// against the unprotected baseline and STBPU, on both axes at once —
+// prediction accuracy over mixed workloads, and the outcome of every
+// collision-attack class in Table I. The paper argues this comparison
+// qualitatively; this example regenerates it as measurements.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"stbpu/internal/experiments"
+)
+
+func main() {
+	fmt.Println("=== Accuracy: normalized OAE over switch-heavy + SPEC workloads ===")
+	scale := experiments.Scale{Records: 60_000}
+	acc, err := experiments.RunDefenseAccuracy(scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "defensecompare: %v\n", err)
+		os.Exit(1)
+	}
+	acc.Render(os.Stdout)
+
+	fmt.Println("\n=== Security: attack classes vs defenses (OPEN = exploitable) ===")
+	matrix := experiments.RunDefenseMatrix()
+	matrix.Render(os.Stdout)
+
+	fmt.Println("\nReading the matrix:")
+	fmt.Println("  BRB retains the PHT per process but leaves the BTB shared -> target attacks open.")
+	fmt.Println("  BSUP keys all structures but re-keys on a timer, not on attack events,")
+	fmt.Println("       and one key register per core forfeits SMT isolation.")
+	fmt.Println("  Zhao's XOR masks are linear: same-address-space aliases survive masking.")
+	fmt.Println("  Exynos encrypts only indirect targets -> every PHT channel stays open.")
+	fmt.Println("  STBPU combines keyed remapping, target encryption, and event-driven")
+	fmt.Println("       re-randomization: every class is stopped at equal accuracy cost.")
+}

@@ -1,0 +1,95 @@
+// Enclave demonstrates the §IV-A "OS not trusted" adaptation: on an
+// SGX-style system the enclave-entry routine, not the OS, owns the
+// enclave's secret token. The token is installed on every EENTER and
+// re-randomized on every EEXIT, so no predictor state the enclave created
+// is ever reachable from the untrusted world — including across two
+// sessions of the same enclave (asynchronous exits can be
+// attacker-induced, so sessions must not trust each other either).
+//
+// The demo drives a token-keyed BPU directly: a BranchScope-style spy in
+// the untrusted world probes a secret-dependent branch the enclave
+// trained.
+package main
+
+import (
+	"fmt"
+
+	"stbpu/internal/bpu"
+	"stbpu/internal/remap"
+	"stbpu/internal/token"
+	"stbpu/internal/trace"
+)
+
+// tokenMapper keys every BPU index computation with the live ST — the
+// same construction STBPU's core uses, owned here by the enclave-entry
+// microcode instead of the OS.
+type tokenMapper struct {
+	funcs remap.Funcs
+	st    token.ST
+}
+
+var _ bpu.Mapper = (*tokenMapper)(nil)
+
+func (m *tokenMapper) BTBIndex(pc uint64) (set, tag, offs uint32) { return m.funcs.R1(m.st.Psi, pc) }
+func (m *tokenMapper) BTBTagBHB(bhb uint64) uint32                { return m.funcs.R2(m.st.Psi, bhb) }
+func (m *tokenMapper) PHT1(pc uint64) uint32                      { return m.funcs.R3(m.st.Psi, pc) }
+func (m *tokenMapper) PHT2(pc uint64, ghr uint64) uint32 {
+	return m.funcs.R4(m.st.Psi, uint16(ghr), pc)
+}
+func (m *tokenMapper) EncryptTarget(t uint32) uint32 { return t ^ m.st.Phi }
+func (m *tokenMapper) DecryptTarget(t uint32) uint32 { return t ^ m.st.Phi }
+
+func condAt(pc uint64, taken bool) trace.Record {
+	rec := trace.Record{PC: pc, Kind: trace.KindCond, Taken: taken, PID: 1}
+	if taken {
+		rec.Target = pc + 0x40
+	} else {
+		rec.Target = rec.FallThrough()
+	}
+	return rec
+}
+
+func main() {
+	mgr := token.NewEnclaveManager(0x5ca1e, token.Derive(0.05))
+	mapper := &tokenMapper{funcs: remap.NewMixer()}
+	unit := bpu.NewUnit(bpu.UnitConfig{Mapper: mapper})
+
+	osToken := token.ST{Psi: 0x0510_0510, Phi: 0x0e0e_0e0e} // untrusted world's token
+	secretPC := uint64(0x40_1000)
+	secret := true
+
+	run := func(rec trace.Record) bpu.Prediction {
+		pred := unit.Predict(rec.PC, rec.Kind)
+		unit.Update(rec, pred)
+		return pred
+	}
+
+	// --- Session 1: enclave trains its secret-dependent branch.
+	st := mgr.Enter()
+	mapper.st = st // EENTER installs the enclave token
+	fmt.Printf("EENTER: session token ψ=%08x φ=%08x\n", st.Psi, st.Phi)
+	for i := 0; i < 16; i++ {
+		run(condAt(secretPC, secret))
+	}
+	mgr.Exit() // EEXIT re-randomizes the enclave token
+	mapper.st = osToken
+	fmt.Println("EEXIT: enclave token re-randomized, OS token restored")
+
+	// --- The untrusted spy probes the enclave's branch address.
+	pred := run(condAt(secretPC, false))
+	fmt.Printf("OS-world spy probe at the enclave's branch: taken=%v (cold counter — no leak)\n",
+		pred.Taken)
+
+	// --- Session 2: the same enclave re-enters with a fresh token.
+	st2 := mgr.Enter()
+	mapper.st = st2
+	fmt.Printf("EENTER: new session token ψ=%08x (differs from session 1: %v)\n",
+		st2.Psi, st2.Psi != st.Psi)
+	p2 := run(condAt(secretPC, secret))
+	fmt.Printf("enclave's own first prediction this session: taken=%v (cold — history traded for isolation)\n",
+		p2.Taken)
+	mgr.Exit()
+	mapper.st = osToken
+
+	fmt.Printf("\nsessions: %d entries, %d exits\n", mgr.Entries, mgr.Exits)
+}

@@ -1,0 +1,33 @@
+// Quickstart: build an STBPU-protected branch predictor, run a SPEC-like
+// workload through it, and compare accuracy against the unprotected
+// baseline — the paper's headline claim (≈1.3% average OAE penalty,
+// Fig. 3) in a dozen lines of API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stbpu"
+)
+
+func main() {
+	tr, err := stbpu.GenerateWorkload("505.mcf", 150_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	protected := stbpu.NewProtected(stbpu.Config{Predictor: stbpu.TAGE64, Seed: 42})
+	baseline := stbpu.NewUnprotected(stbpu.TAGE64)
+
+	p := stbpu.Simulate(protected, tr)
+	b := stbpu.Simulate(baseline, tr)
+
+	fmt.Printf("workload %s (%d branch records)\n", tr.Name, p.Records)
+	fmt.Printf("  unprotected TAGE-SC-L 64KB: OAE %.4f  direction %.4f  target %.4f\n",
+		b.OAE(), b.DirectionRate(), b.TargetRate())
+	fmt.Printf("  ST_TAGE_SC_L_64KB:          OAE %.4f  direction %.4f  target %.4f\n",
+		p.OAE(), p.DirectionRate(), p.TargetRate())
+	fmt.Printf("  accuracy cost: %.2f%%  (re-randomizations: %d)\n",
+		(b.OAE()-p.OAE())*100, p.Rerandomizations)
+}

@@ -1,0 +1,46 @@
+// SMT co-runs two SPEC workloads on one out-of-order core with a shared
+// STBPU (Fig. 5): the two hardware threads hold different secret tokens,
+// so they cannot groom each other's predictions, while the harmonic-mean
+// IPC stays within a few percent of the unprotected core.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stbpu"
+	"stbpu/internal/core"
+	"stbpu/internal/cpu"
+	"stbpu/internal/sim"
+)
+
+func main() {
+	a, err := stbpu.GenerateWorkload("bwaves", 100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := stbpu.GenerateWorkload("mcf", 100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	baseCore := cpu.New(cpu.TableIVConfig(), &sim.UnitModel{
+		ModelName: "TAGE_SC_L_64KB", Unit: core.NewUnprotectedUnit(core.DirTAGE64)})
+	stModel := core.NewModel(core.ModelConfig{Dir: core.DirTAGE64, Seed: 23})
+	stCore := cpu.New(cpu.TableIVConfig(), &sim.STBPUModel{Inner: stModel})
+
+	unprot := baseCore.RunSMT(a, b)
+	prot := stCore.RunSMT(a, b)
+
+	fmt.Printf("SMT pair: %s + %s (Table IV core, shared BPU and caches)\n\n", a.Name, b.Name)
+	fmt.Printf("%-22s %10s %10s %12s\n", "model", a.Name, b.Name, "hmean IPC")
+	fmt.Printf("%-22s %10.3f %10.3f %12.3f\n", "unprotected",
+		unprot.PerThread[0].IPC(), unprot.PerThread[1].IPC(), unprot.HarmonicMeanIPC())
+	fmt.Printf("%-22s %10.3f %10.3f %12.3f\n", "ST_TAGE_SC_L_64KB",
+		prot.PerThread[0].IPC(), prot.PerThread[1].IPC(), prot.HarmonicMeanIPC())
+	fmt.Printf("\nthroughput retained: %.1f%%  (re-randomizations: %d)\n",
+		100*prot.HarmonicMeanIPC()/unprot.HarmonicMeanIPC(), stModel.Rerandomizations())
+	fmt.Println("\nSMT stresses STBPU hardest (§VII-B2): two threads share the monitored")
+	fmt.Println("structures, so thresholds trip more often than single-threaded — yet the")
+	fmt.Println("throughput cost stays under a few percent.")
+}

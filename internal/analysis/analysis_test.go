@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+// within reports |got/want - 1| <= tol.
+func within(got, want, tol float64) bool {
+	return math.Abs(got/want-1) <= tol
+}
+
+func TestReuseBTBMispredictionsMatchesPaper(t *testing.T) {
+	// §VI-A.5: ≈ 6.9e8 mispredictions.
+	got := ReuseBTBMispredictions(SkylakeBTB())
+	if !within(got, 6.9e8, 0.02) {
+		t.Errorf("BTB reuse mispredictions = %.3g, paper says 6.9e8", got)
+	}
+}
+
+func TestReuseBTBEvictionsMatchesPaper(t *testing.T) {
+	// §VI-A.5: ≈ 2^21 evictions.
+	got := ReuseBTBEvictions(SkylakeBTB())
+	if !within(got, math.Exp2(21), 0.01) {
+		t.Errorf("BTB reuse evictions = %.3g, paper says 2^21 ≈ %.3g", got, math.Exp2(21))
+	}
+}
+
+func TestReusePHTMispredictionsMatchesPaper(t *testing.T) {
+	// §VI-A.5: ≈ 8.38e5 mispredictions.
+	got := ReusePHTMispredictions(SkylakePHT())
+	if !within(got, 8.38e5, 0.01) {
+		t.Errorf("PHT reuse mispredictions = %.3g, paper says 8.38e5", got)
+	}
+}
+
+func TestGEMEvictionsMatchesPaper(t *testing.T) {
+	// §VI-A.5: ≈ 5.3e5 evictions at P = 0.5.
+	got := GEMEvictions(SkylakeBTB(), 0.5)
+	if !within(got, 5.3e5, 0.01) {
+		t.Errorf("GEM evictions = %.3g, paper says 5.3e5", got)
+	}
+}
+
+func TestTargetInjectionMatchesPaper(t *testing.T) {
+	// §VI-A.5: ≈ 2^31 mispredictions.
+	got := TargetInjectionMispredictions(SkylakeBTB())
+	if got != math.Exp2(31) {
+		t.Errorf("target injection = %.3g, want 2^31", got)
+	}
+}
+
+func TestNaiveEvictionSetProb(t *testing.T) {
+	// Eq. (3): 1/I^(W-1) — astronomically small at Skylake sizes.
+	got := NaiveEvictionSetProb(SkylakeBTB())
+	want := 1 / math.Pow(512, 7)
+	if got != want {
+		t.Errorf("naive eviction probability = %g, want %g", got, want)
+	}
+	if got > 1e-18 {
+		t.Errorf("naive eviction probability implausibly large: %g", got)
+	}
+}
+
+func TestThresholdsAtPaperR(t *testing.T) {
+	// §VII-A: r = 0.05 → 4.15e4 mispredictions, 2.65e4 evictions.
+	misp, evict := Thresholds(0.05)
+	if !within(misp, 4.15e4, 0.02) {
+		t.Errorf("misp threshold = %.4g, paper says 4.15e4", misp)
+	}
+	if !within(evict, 2.65e4, 0.01) {
+		t.Errorf("evict threshold = %.4g, paper says 2.65e4", evict)
+	}
+	// r = 0.1 doubles the budgets.
+	misp2, evict2 := Thresholds(0.1)
+	if !within(misp2, 2*misp, 1e-9) || !within(evict2, 2*evict, 1e-9) {
+		t.Error("thresholds not linear in r")
+	}
+}
+
+func TestMinComplexitiesAreTheCheapestAttacks(t *testing.T) {
+	misp, evict := MinComplexities()
+	if !within(misp, 8.38e5, 0.01) {
+		t.Errorf("cheapest misprediction attack = %.3g, want PHT reuse 8.38e5", misp)
+	}
+	if !within(evict, 5.3e5, 0.01) {
+		t.Errorf("cheapest eviction attack = %.3g, want GEM 5.3e5", evict)
+	}
+}
+
+func TestSectionVIComplete(t *testing.T) {
+	rows := SectionVI()
+	if len(rows) != 5 {
+		t.Fatalf("SectionVI has %d rows, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.Events <= 0 || math.IsNaN(r.Events) || math.IsInf(r.Events, 0) {
+			t.Errorf("%s/%s: bad value %v", r.Attack, r.Metric, r.Events)
+		}
+	}
+}
+
+func TestExpectedProbesToCollision(t *testing.T) {
+	// I·T·O = 512 · 256 · 32 = 2^22.
+	got := ExpectedProbesToCollision(SkylakeBTB())
+	if got != math.Exp2(22) {
+		t.Errorf("expected probes = %g, want 2^22", got)
+	}
+}
+
+func TestComplexityOrdering(t *testing.T) {
+	// The security argument's shape: brute-force target injection must be
+	// by far the most expensive; PHT reuse the cheapest misprediction
+	// attack.
+	btb := SkylakeBTB()
+	if TargetInjectionMispredictions(btb) < ReuseBTBMispredictions(btb) {
+		t.Error("target injection should cost more than BTB reuse")
+	}
+	if ReusePHTMispredictions(SkylakePHT()) > ReuseBTBMispredictions(btb) {
+		t.Error("PHT reuse should be cheaper than BTB reuse")
+	}
+}

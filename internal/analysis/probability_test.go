@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSuccessProbabilityAnchors(t *testing.T) {
+	// By construction P(C) = 0.5 for any complexity C.
+	for _, c := range []float64{10, 1e3, 6.9e8} {
+		if got := SuccessProbability(c, c); math.Abs(got-0.5) > 1e-6 {
+			t.Errorf("P(C=%g at budget C) = %g, want 0.5", c, got)
+		}
+	}
+	if SuccessProbability(0, 100) != 0 {
+		t.Error("zero budget should have zero success probability")
+	}
+	if SuccessProbability(100, 0) != 0 {
+		t.Error("non-positive complexity should yield 0, not NaN")
+	}
+}
+
+func TestSuccessProbabilityMonotoneInEvents(t *testing.T) {
+	check := func(a, b uint32) bool {
+		lo, hi := float64(a%100_000), float64(b%100_000)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		const c = 50_000
+		return SuccessProbability(lo, c) <= SuccessProbability(hi, c)+1e-12
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEpochSuccessProbability(t *testing.T) {
+	// r = 1 means the attacker gets its full 50%-budget per epoch.
+	if got := EpochSuccessProbability(1); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("P_epoch(r=1) = %g, want 0.5", got)
+	}
+	// The paper's r = 0.05 bounds per-epoch success to ~3.4%.
+	if got := EpochSuccessProbability(0.05); got < 0.03 || got > 0.04 {
+		t.Errorf("P_epoch(r=0.05) = %g, want ≈0.034", got)
+	}
+	if EpochSuccessProbability(0) != 0 {
+		t.Error("r=0 should give zero epoch success")
+	}
+	// Monotone in r.
+	check := func(a, b uint16) bool {
+		lo, hi := float64(a)/65535, float64(b)/65535
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return EpochSuccessProbability(lo) <= EpochSuccessProbability(hi)+1e-12
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiEpochSuccess(t *testing.T) {
+	pe := EpochSuccessProbability(0.05)
+	one := MultiEpochSuccessProbability(0.05, 1)
+	if math.Abs(one-pe) > 1e-12 {
+		t.Errorf("k=1 multi-epoch = %g, want P_epoch %g", one, pe)
+	}
+	// Independence: 2 epochs = 1-(1-p)^2.
+	two := MultiEpochSuccessProbability(0.05, 2)
+	want := 1 - (1-pe)*(1-pe)
+	if math.Abs(two-want) > 1e-12 {
+		t.Errorf("k=2 multi-epoch = %g, want %g", two, want)
+	}
+	if MultiEpochSuccessProbability(0.05, 0) != 0 {
+		t.Error("k=0 should be 0")
+	}
+	// Monotone in k.
+	if MultiEpochSuccessProbability(0.05, 10) >= MultiEpochSuccessProbability(0.05, 100) {
+		t.Error("multi-epoch success must grow with epochs")
+	}
+}
+
+func TestExpectedEventsToSuccess(t *testing.T) {
+	// For small r the expected cost approaches C/ln2 ≈ 1.44C — i.e.
+	// re-randomization caps the attacker's progress at a constant-factor
+	// premium regardless of r, while bounding per-epoch success by r.
+	const c = 1e6
+	got := ExpectedEventsToSuccess(0.001, c)
+	want := c / math.Ln2
+	if math.Abs(got-want)/want > 0.01 {
+		t.Errorf("E[events] at small r = %g, want ≈ %g", got, want)
+	}
+	if !math.IsInf(ExpectedEventsToSuccess(0, c), 1) {
+		t.Error("r=0 should make success unreachable (infinite expected cost)")
+	}
+	// The expected cost is never below the unprotected 50% point's cost.
+	for _, r := range []float64{0.01, 0.05, 0.5, 1} {
+		if ExpectedEventsToSuccess(r, c) < c {
+			t.Errorf("E[events] at r=%g below unprotected complexity", r)
+		}
+	}
+}
+
+func TestBirthdayCollisionProb(t *testing.T) {
+	// Classic anchor: 23 people, 365 days ≈ 50%.
+	if got := BirthdayCollisionProb(23, 365); got < 0.48 || got < 0 || got > 0.55 {
+		t.Errorf("birthday(23, 365) = %g, want ≈0.5", got)
+	}
+	if BirthdayCollisionProb(1, 365) != 0 {
+		t.Error("a single item cannot collide")
+	}
+	check := func(a, b uint16) bool {
+		lo, hi := float64(a%1000), float64(b%1000)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		p1, p2 := BirthdayCollisionProb(lo, 4096), BirthdayCollisionProb(hi, 4096)
+		return p1 >= 0 && p2 <= 1 && p1 <= p2+1e-12
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDoSEvictionProb(t *testing.T) {
+	btb := SkylakeBTB()
+	if DoSEvictionProb(btb, 0) != 0 {
+		t.Error("zero sprays, zero eviction probability")
+	}
+	// The inverse must round-trip.
+	for _, target := range []float64{0.1, 0.5, 0.9} {
+		sprays := DoSSpraysForProb(btb, target)
+		if got := DoSEvictionProb(btb, sprays); math.Abs(got-target) > 1e-9 {
+			t.Errorf("round trip at %g: %g", target, got)
+		}
+	}
+	// Blindly evicting a specific entry with 50% needs the victim's set
+	// to fill: λ must reach the Poisson median of W, i.e. ≈ I·(W−1/3)
+	// sprays — substantially more than the memoryless I·W·ln2 estimate.
+	got := DoSSpraysForProb(btb, 0.5)
+	approx := btb.Sets * (btb.Ways - 1.0/3)
+	if math.Abs(got-approx)/approx > 0.05 {
+		t.Errorf("sprays for 50%% = %g, want ≈ %g (Poisson median)", got, approx)
+	}
+	if !math.IsInf(DoSSpraysForProb(btb, 1), 1) {
+		t.Error("certain eviction needs unbounded sprays")
+	}
+	// Monotone in spray count.
+	check := func(a, b uint32) bool {
+		lo, hi := float64(a%1_000_000), float64(b%1_000_000)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return DoSEvictionProb(btb, lo) <= DoSEvictionProb(btb, hi)+1e-12
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaSweep(t *testing.T) {
+	rs := []float64{0.05, 0.005, 5e-4, 5e-5}
+	rows := GammaSweep(rs)
+	if len(rows) != len(rs) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The paper's r=0.05 thresholds (§VII-A): 4.15e4 and 2.65e4.
+	if math.Abs(rows[0].MispThreshold-4.15e4)/4.15e4 > 0.02 {
+		t.Errorf("misp threshold at r=0.05 = %g, want ≈4.15e4", rows[0].MispThreshold)
+	}
+	if math.Abs(rows[0].EvictThreshold-2.65e4)/2.65e4 > 0.02 {
+		t.Errorf("evict threshold at r=0.05 = %g, want ≈2.65e4", rows[0].EvictThreshold)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].EpochSuccess >= rows[i-1].EpochSuccess {
+			t.Error("lowering r must lower per-epoch success")
+		}
+		if rows[i].MispThreshold >= rows[i-1].MispThreshold {
+			t.Error("lowering r must lower thresholds")
+		}
+	}
+	// Epochs-to-50% must scale ≈ 1/r: three orders of magnitude more
+	// wall-clock (and observable re-randomizations) at r=5e-5 than at
+	// r=0.05.
+	ratio := rows[3].EpochsFor50 / rows[0].EpochsFor50
+	if ratio < 500 || ratio > 2000 {
+		t.Errorf("epochs-to-50%% ratio across 1000x r = %g, want ≈1000", ratio)
+	}
+	// Boundary behaviour of the inverse.
+	if !math.IsInf(EpochsForProbability(0, 0.5), 1) {
+		t.Error("r=0 should need infinite epochs")
+	}
+	if !math.IsInf(EpochsForProbability(0.05, 1), 1) {
+		t.Error("certainty should need infinite epochs")
+	}
+	if EpochsForProbability(0.05, 0) != 0 {
+		t.Error("zero target needs zero epochs")
+	}
+}

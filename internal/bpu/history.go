@@ -1,0 +1,52 @@
+// Package bpu implements the baseline branch prediction unit of §II-A: the
+// Skylake-style model derived from the reverse-engineering literature that
+// STBPU is built on. It provides the shared structures (BTB, PHT, RSB, GHR,
+// BHB), the hybrid conditional predictor ("SKLCond"), and a composed Unit
+// that predicts and updates from trace records.
+//
+// All structures take their index/tag computations from a Mapper, so the
+// same hardware model serves both the legacy truncated-address baseline
+// (LegacyMapper) and the STBPU keyed remapping (internal/core).
+package bpu
+
+// GHRBits is the global history register width used by the 2-level PHT
+// mode (the paper's baseline hashes an 18-bit GHR; STBPU consumes 16 of
+// them per Table II).
+const GHRBits = 18
+
+// BHBBits is the branch history buffer width (58 bits, per the Spectre
+// reverse engineering the paper builds on).
+const BHBBits = 58
+
+// bhbMask keeps the canonical BHB width.
+const bhbMask = (uint64(1) << BHBBits) - 1
+
+// History holds the BPU shift registers: the taken/not-taken global
+// history (GHR) used for conditional prediction and the branch history
+// buffer (BHB) accumulating branch context for indirect prediction.
+type History struct {
+	// GHR is the global taken/not-taken shift register (low GHRBits used).
+	GHR uint64
+	// BHB is the 58-bit branch context register.
+	BHB uint64
+}
+
+// PushOutcome shifts a conditional outcome into the GHR.
+func (h *History) PushOutcome(taken bool) {
+	h.GHR <<= 1
+	if taken {
+		h.GHR |= 1
+	}
+	h.GHR &= (1 << GHRBits) - 1
+}
+
+// PushBranch folds a taken branch's source and target addresses into the
+// BHB (§II-A: "when a direct branch is executed, its virtual address is
+// folded using XOR and mixed with the current state of BHB").
+func (h *History) PushBranch(pc, target uint64) {
+	fold := (pc ^ (pc >> 7) ^ (target << 3) ^ (target >> 13)) & 0x3f
+	h.BHB = ((h.BHB << 2) ^ fold) & bhbMask
+}
+
+// Reset clears both registers (used by flushing protections).
+func (h *History) Reset() { h.GHR, h.BHB = 0, 0 }

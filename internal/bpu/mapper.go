@@ -1,0 +1,87 @@
+package bpu
+
+// Mapper computes the index/tag/offset fields used to address BPU
+// structures, and the (de)obfuscation of stored targets. The baseline
+// hardware uses fast deterministic compression of truncated addresses
+// (LegacyMapper); STBPU substitutes keyed remapping functions and XOR
+// target encryption (internal/core.STMapper).
+type Mapper interface {
+	// BTBIndex computes the mode-one BTB set/tag/offset from the branch
+	// virtual address.
+	BTBIndex(pc uint64) (set, tag, offs uint32)
+	// BTBTagBHB computes the mode-two tag from the BHB (indirect
+	// branches and RSB-underflow returns).
+	BTBTagBHB(bhb uint64) uint32
+	// PHT1 computes the 1-level PHT index from the address alone.
+	PHT1(pc uint64) uint32
+	// PHT2 computes the 2-level PHT index from address and GHR.
+	PHT2(pc uint64, ghr uint64) uint32
+	// EncryptTarget obfuscates a 32-bit target before it is stored in
+	// BTB/RSB; DecryptTarget reverses it at prediction time (the paper's
+	// function 5 applies φ before widening to 48 bits).
+	EncryptTarget(t uint32) uint32
+	DecryptTarget(t uint32) uint32
+}
+
+// Geometry of the baseline structures (Intel Skylake per §II-A).
+const (
+	// BTBSets × BTBWays = 4096 entries.
+	BTBSets = 512
+	BTBWays = 8
+	// BTBTagBits/BTBOffsetBits are the compressed entry fields.
+	BTBTagBits    = 8
+	BTBOffsetBits = 5
+	// PHTSize is the 16k-entry pattern history table.
+	PHTSize = 1 << 14
+	// RSBDepth is the 16-entry hardware return stack.
+	RSBDepth = 16
+)
+
+// LegacyMapper is the unprotected baseline: deterministic folds of the low
+// 30-32 address bits, exactly the property (shared structures + truncated
+// addresses) that enables the collision attacks of Table I.
+type LegacyMapper struct{}
+
+var _ Mapper = LegacyMapper{}
+
+// BTBIndex implements Mapper. Only bits [4:32) of the address participate,
+// so addresses equal modulo 2^32 collide (same-address-space attacks), and
+// distinct higher-half addresses with equal low bits collide cross-process.
+func (LegacyMapper) BTBIndex(pc uint64) (set, tag, offs uint32) {
+	set = uint32(pc>>5) & (BTBSets - 1)
+	tag = uint32((pc>>14)^(pc>>22)) & (1<<BTBTagBits - 1)
+	offs = uint32(pc) & (1<<BTBOffsetBits - 1)
+	return set, tag, offs
+}
+
+// BTBTagBHB implements Mapper: the 58-bit BHB folds to the 8-bit mode-two
+// tag by XOR of byte-wide chunks.
+func (LegacyMapper) BTBTagBHB(bhb uint64) uint32 {
+	t := bhb ^ (bhb >> 8) ^ (bhb >> 16) ^ (bhb >> 24) ^ (bhb >> 32) ^ (bhb >> 40) ^ (bhb >> 48) ^ (bhb >> 56)
+	return uint32(t) & (1<<BTBTagBits - 1)
+}
+
+// PHT1 implements Mapper: simple 1-level addressing from the branch
+// address.
+func (LegacyMapper) PHT1(pc uint64) uint32 {
+	return uint32(pc>>2) & (PHTSize - 1)
+}
+
+// PHT2 implements Mapper: gshare-style hash of the address with the GHR.
+func (LegacyMapper) PHT2(pc uint64, ghr uint64) uint32 {
+	g := (ghr ^ (ghr >> 14)) & (PHTSize - 1)
+	return (uint32(pc>>2) ^ uint32(g)) & (PHTSize - 1)
+}
+
+// EncryptTarget implements Mapper: the baseline stores raw targets.
+func (LegacyMapper) EncryptTarget(t uint32) uint32 { return t }
+
+// DecryptTarget implements Mapper.
+func (LegacyMapper) DecryptTarget(t uint32) uint32 { return t }
+
+// ReconstructTarget widens a stored 32-bit target to a 48-bit virtual
+// address using the upper 16 bits of the branch's own address (the paper's
+// function 5).
+func ReconstructTarget(pc uint64, stored uint32) uint64 {
+	return (pc & 0xffff_0000_0000) | uint64(stored)
+}

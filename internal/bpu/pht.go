@@ -1,0 +1,77 @@
+package bpu
+
+// PHT is a table of 2-bit saturating counters: the base direction
+// predictor. Counter states run from 0 (strongly not-taken) to 3 (strongly
+// taken). PHT entries are never evicted (Table I: "PHT entries are not
+// evicted") — a colliding branch reuses and retrains the counter instead.
+type PHT struct {
+	counters []uint8
+}
+
+// NewPHT allocates a table with n counters, initialized weakly not-taken.
+func NewPHT(n int) *PHT {
+	if n <= 0 {
+		panic("bpu: PHT size must be positive")
+	}
+	c := make([]uint8, n)
+	for i := range c {
+		c[i] = 1 // weakly not-taken
+	}
+	return &PHT{counters: c}
+}
+
+// Size returns the counter count.
+func (p *PHT) Size() int { return len(p.counters) }
+
+// Snapshot copies the full counter state. BRB-style defenses retain a
+// per-process copy of the directional predictor across context switches.
+func (p *PHT) Snapshot() []uint8 {
+	out := make([]uint8, len(p.counters))
+	copy(out, p.counters)
+	return out
+}
+
+// Restore overwrites the counter state from a snapshot taken on a table of
+// the same size. A nil snapshot resets to the initial weakly-not-taken
+// state (a process with no retained history starts cold).
+func (p *PHT) Restore(snap []uint8) {
+	if snap == nil {
+		p.Flush()
+		return
+	}
+	if len(snap) != len(p.counters) {
+		panic("bpu: PHT snapshot size mismatch")
+	}
+	copy(p.counters, snap)
+}
+
+// Predict returns the direction for the given index.
+func (p *PHT) Predict(idx uint32) bool {
+	return p.counters[int(idx)%len(p.counters)] >= 2
+}
+
+// Counter exposes the raw state (attack models read it to emulate
+// BranchScope-style state probing).
+func (p *PHT) Counter(idx uint32) uint8 {
+	return p.counters[int(idx)%len(p.counters)]
+}
+
+// Update trains the counter toward the outcome.
+func (p *PHT) Update(idx uint32, taken bool) {
+	i := int(idx) % len(p.counters)
+	c := p.counters[i]
+	if taken {
+		if c < 3 {
+			p.counters[i] = c + 1
+		}
+	} else if c > 0 {
+		p.counters[i] = c - 1
+	}
+}
+
+// Flush resets every counter to the weakly not-taken state.
+func (p *PHT) Flush() {
+	for i := range p.counters {
+		p.counters[i] = 1
+	}
+}

@@ -1,0 +1,140 @@
+// Package cache implements the set-associative cache hierarchy of the
+// paper's gem5 configuration (Table IV): 32KB 8-way L1I/L1D, 256KB 4-way
+// L2, 4MB 16-way LLC. The CPU model (internal/cpu) charges memory access
+// latencies through it.
+package cache
+
+import "fmt"
+
+// Config sizes one cache level.
+type Config struct {
+	// Name labels the level ("L1D"...).
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// LineBytes is the block size (64 throughout).
+	LineBytes int
+	// HitLatency is the access latency in cycles.
+	HitLatency int
+}
+
+// Sets returns the derived set count.
+func (c Config) Sets() int { return c.SizeBytes / (c.Ways * c.LineBytes) }
+
+// Cache is one level with LRU replacement. The zero value is not usable;
+// construct with New.
+type Cache struct {
+	cfg   Config
+	sets  int
+	shift uint
+	tags  []uint64 // sets × ways; 0 = invalid (tag stored +1)
+	lru   []uint32
+	clock uint32
+
+	// Hits and Misses count accesses since construction.
+	Hits, Misses uint64
+}
+
+// New builds a cache level. It panics on a non-power-of-two geometry.
+func New(cfg Config) *Cache {
+	sets := cfg.Sets()
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a positive power of two", cfg.Name, sets))
+	}
+	shift := uint(0)
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		shift++
+	}
+	return &Cache{
+		cfg:   cfg,
+		sets:  sets,
+		shift: shift,
+		tags:  make([]uint64, sets*cfg.Ways),
+		lru:   make([]uint32, sets*cfg.Ways),
+	}
+}
+
+// Config returns the level configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access looks up (and fills on miss) the line containing addr, returning
+// whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr >> c.shift
+	set := int(line) & (c.sets - 1)
+	base := set * c.cfg.Ways
+	tag := line + 1 // +1 so tag 0 means invalid
+	c.clock++
+	victim, victimLRU := base, c.lru[base]
+	for i := base; i < base+c.cfg.Ways; i++ {
+		if c.tags[i] == tag {
+			c.lru[i] = c.clock
+			c.Hits++
+			return true
+		}
+		if c.lru[i] < victimLRU {
+			victim, victimLRU = i, c.lru[i]
+		}
+	}
+	c.tags[victim] = tag
+	c.lru[victim] = c.clock
+	c.Misses++
+	return false
+}
+
+// Flush invalidates all lines.
+func (c *Cache) Flush() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.lru[i] = 0
+	}
+}
+
+// Hierarchy is the three-level hierarchy of Table IV plus memory.
+type Hierarchy struct {
+	L1I, L1D, L2, LLC *Cache
+	// MemLatency is the DRAM access cost in cycles.
+	MemLatency int
+}
+
+// TableIVHierarchy builds the paper's gem5 cache configuration.
+func TableIVHierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1I:        New(Config{Name: "L1I", SizeBytes: 32 << 10, Ways: 8, LineBytes: 64, HitLatency: 2}),
+		L1D:        New(Config{Name: "L1D", SizeBytes: 32 << 10, Ways: 8, LineBytes: 64, HitLatency: 4}),
+		L2:         New(Config{Name: "L2", SizeBytes: 256 << 10, Ways: 4, LineBytes: 64, HitLatency: 12}),
+		LLC:        New(Config{Name: "LLC", SizeBytes: 4 << 20, Ways: 16, LineBytes: 64, HitLatency: 40}),
+		MemLatency: 200,
+	}
+}
+
+// AccessData charges a data access through L1D→L2→LLC→memory and returns
+// its latency in cycles.
+func (h *Hierarchy) AccessData(addr uint64) int {
+	if h.L1D.Access(addr) {
+		return h.L1D.cfg.HitLatency
+	}
+	if h.L2.Access(addr) {
+		return h.L2.cfg.HitLatency
+	}
+	if h.LLC.Access(addr) {
+		return h.LLC.cfg.HitLatency
+	}
+	return h.MemLatency
+}
+
+// AccessInstr charges an instruction fetch through L1I→L2→LLC→memory.
+func (h *Hierarchy) AccessInstr(addr uint64) int {
+	if h.L1I.Access(addr) {
+		return h.L1I.cfg.HitLatency
+	}
+	if h.L2.Access(addr) {
+		return h.L2.cfg.HitLatency
+	}
+	if h.LLC.Access(addr) {
+		return h.LLC.cfg.HitLatency
+	}
+	return h.MemLatency
+}

@@ -1,0 +1,127 @@
+package cache
+
+import (
+	"testing"
+
+	"stbpu/internal/rng"
+)
+
+func TestConfigSets(t *testing.T) {
+	c := Config{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64}
+	if got := c.Sets(); got != 64 {
+		t.Errorf("Sets = %d, want 64", got)
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 1 << 10, Ways: 2, LineBytes: 64, HitLatency: 4})
+	if c.Access(0x1000) {
+		t.Error("cold access should miss")
+	}
+	if !c.Access(0x1000) {
+		t.Error("second access should hit")
+	}
+	if !c.Access(0x1038) {
+		t.Error("same-line access should hit")
+	}
+	if c.Access(0x1040) {
+		t.Error("next line should miss")
+	}
+	if c.Hits != 2 || c.Misses != 2 {
+		t.Errorf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way, line 64, 8 sets: addresses 0, 512, 1024 map to set 0.
+	c := New(Config{Name: "t", SizeBytes: 1 << 10, Ways: 2, LineBytes: 64})
+	c.Access(0)
+	c.Access(512)
+	c.Access(0) // refresh 0; 512 is now LRU
+	c.Access(1024)
+	if !c.Access(0) {
+		t.Error("MRU line evicted")
+	}
+	if c.Access(512) {
+		t.Error("LRU line should have been evicted")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 1 << 10, Ways: 2, LineBytes: 64})
+	c.Access(0x40)
+	c.Flush()
+	if c.Access(0x40) {
+		t.Error("flush left a line behind")
+	}
+}
+
+func TestPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{SizeBytes: 1000, Ways: 3, LineBytes: 64}) // non-power-of-two sets
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := TableIVHierarchy()
+	addr := uint64(0x10000)
+	// Cold: full miss to memory.
+	if lat := h.AccessData(addr); lat != h.MemLatency {
+		t.Errorf("cold data access latency %d, want %d", lat, h.MemLatency)
+	}
+	// Warm: L1 hit.
+	if lat := h.AccessData(addr); lat != h.L1D.Config().HitLatency {
+		t.Errorf("warm data access latency %d", lat)
+	}
+	if lat := h.AccessInstr(0x40400000); lat != h.MemLatency {
+		t.Errorf("cold instr access latency %d", lat)
+	}
+	if lat := h.AccessInstr(0x40400000); lat != h.L1I.Config().HitLatency {
+		t.Errorf("warm instr access latency %d", lat)
+	}
+}
+
+func TestL2CatchesL1Evictions(t *testing.T) {
+	h := TableIVHierarchy()
+	// Touch a working set larger than L1D (32KB) but well within L2.
+	const lines = 1024 // 64KB
+	for i := 0; i < lines; i++ {
+		h.AccessData(uint64(i * 64))
+	}
+	l2Before := h.L2.Hits
+	for i := 0; i < lines; i++ {
+		h.AccessData(uint64(i * 64))
+	}
+	if h.L2.Hits == l2Before {
+		t.Error("L2 should absorb L1 capacity misses")
+	}
+}
+
+func TestWorkingSetFitsGivesHighHitRate(t *testing.T) {
+	h := TableIVHierarchy()
+	r := rng.New(3)
+	const footprint = 16 << 10 // fits in L1D
+	for i := 0; i < 50_000; i++ {
+		h.AccessData(r.Uint64() % footprint)
+	}
+	rate := float64(h.L1D.Hits) / float64(h.L1D.Hits+h.L1D.Misses)
+	if rate < 0.95 {
+		t.Errorf("L1D hit rate %.3f for resident working set", rate)
+	}
+}
+
+func BenchmarkHierarchyAccess(b *testing.B) {
+	h := TableIVHierarchy()
+	r := rng.New(1)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = r.Uint64() % (8 << 20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.AccessData(addrs[i%len(addrs)])
+	}
+}

@@ -1,0 +1,286 @@
+// Package cpu is the cycle-level out-of-order CPU model substituting for
+// the paper's gem5 DerivO3CPU evaluation (Table IV; see DESIGN.md for the
+// substitution argument). It implements an interval-style timing model
+// (Genbrugge/Eyerman/Eeckhout): sustained dispatch at core width,
+// punctuated by miss events — branch mispredictions (front-end redirect +
+// refill), BTB misses (fetch bubbles), and long-latency cache misses
+// (partially hidden by the reorder buffer).
+//
+// What matters for Figs. 4-6 is that the model couples prediction quality
+// to IPC the same way gem5's pipeline does: every extra misprediction
+// costs a squash window, so the ST-vs-unprotected IPC delta tracks the
+// prediction-rate delta.
+package cpu
+
+import (
+	"stbpu/internal/bpu"
+	"stbpu/internal/cache"
+	"stbpu/internal/sim"
+	"stbpu/internal/stats"
+	"stbpu/internal/trace"
+)
+
+// Config parameterizes the core (defaults per Table IV).
+type Config struct {
+	// Width is the issue/dispatch width (8).
+	Width int
+	// ROB is the reorder buffer depth (192).
+	ROB int
+	// IQ, LQ, SQ are queue sizes (64/32/32); they bound the overlap
+	// window for load misses.
+	IQ, LQ, SQ int
+	// MispredictPenalty is the front-end redirect + refill cost.
+	MispredictPenalty int
+	// BTBMissPenalty is the fetch bubble for a taken branch without a
+	// target.
+	BTBMissPenalty int
+
+	// InstrPerBranch is the mean non-branch instructions per branch
+	// record (workload dependent; ~5 for SPEC int).
+	InstrPerBranch int
+	// LoadFrac is the fraction of non-branch instructions that access
+	// memory.
+	LoadFrac float64
+	// DataFootprint is the synthesized data working-set size in bytes.
+	DataFootprint uint64
+}
+
+// TableIVConfig returns the paper's gem5 core configuration.
+func TableIVConfig() Config {
+	return Config{
+		Width:             8,
+		ROB:               192,
+		IQ:                64,
+		LQ:                32,
+		SQ:                32,
+		MispredictPenalty: 16,
+		BTBMissPenalty:    8,
+		InstrPerBranch:    5,
+		LoadFrac:          0.3,
+		DataFootprint:     8 << 20,
+	}
+}
+
+// Result is one core-simulation outcome.
+type Result struct {
+	Workload     string
+	Model        string
+	Instructions uint64
+	Cycles       uint64
+	Branch       sim.Result
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	return stats.Ratio(r.Instructions, r.Cycles)
+}
+
+// Core is a single simulated OoO core.
+type Core struct {
+	cfg Config
+	mem *cache.Hierarchy
+	bpu sim.Model
+}
+
+// New builds a core around a BPU model with a fresh Table IV cache
+// hierarchy.
+func New(cfg Config, bpuModel sim.Model) *Core {
+	return &Core{cfg: cfg, mem: cache.TableIVHierarchy(), bpu: bpuModel}
+}
+
+// Hierarchy exposes the cache hierarchy (tests inspect hit rates).
+func (c *Core) Hierarchy() *cache.Hierarchy { return c.mem }
+
+// loadAddr synthesizes a data address for load l of a block with realistic
+// locality: ~90% of accesses fall in a hot 64KB region, ~9% in a warm 1MB
+// region, and the rest sweep the full footprint — giving the L1/L2/LLC hit
+// rates real SPEC workloads exhibit.
+func (c *Core) loadAddr(h uint64, l int) uint64 {
+	return loadAddr(c.cfg.DataFootprint, h, l)
+}
+
+// loadAddr is the shared address synthesizer used by both timing engines.
+func loadAddr(footprint, h uint64, l int) uint64 {
+	x := h>>8 ^ uint64(l)*0x2545f4914f6cdd1d
+	x ^= x >> 31
+	x *= 0x9e3779b97f4a7c15
+	region := uint64(64 << 10)
+	switch sel := (x >> 56) % 100; {
+	case sel >= 99:
+		region = footprint
+	case sel >= 90:
+		region = 1 << 20
+	}
+	if region > footprint {
+		region = footprint
+	}
+	return (x % region) &^ 0x3f
+}
+
+// recHash derives deterministic per-record variation (instruction count,
+// load addresses) from the record itself, so protected and unprotected
+// models see the *identical* instruction stream.
+func recHash(rec trace.Record, i int) uint64 {
+	h := rec.PC ^ uint64(i)*0x9e3779b97f4a7c15 ^ rec.Target<<1
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 29
+	return h
+}
+
+// Run executes a trace through the core and returns timing + branch
+// statistics.
+func (c *Core) Run(tr *trace.Trace) Result {
+	res := Result{Workload: tr.Name, Model: c.bpu.Name()}
+	var cycles, instrs uint64
+	robOverlap := uint64(c.cfg.ROB / c.cfg.Width)
+
+	for i, rec := range tr.Records {
+		h := recHash(rec, i)
+		block := 1 + int(h%uint64(2*c.cfg.InstrPerBranch)) // mean ≈ IPB
+		instrs += uint64(block) + 1                        // block + the branch
+
+		// Dispatch the block at core width.
+		cycles += uint64((block + c.cfg.Width - 1) / c.cfg.Width)
+
+		// Instruction fetch misses stall the front end.
+		il := c.mem.AccessInstr(rec.PC)
+		if il > 4 {
+			cycles += uint64(il) / 2 // partially pipelined fetch
+		}
+
+		// Loads: long-latency misses are hidden up to the ROB fill time;
+		// consecutive misses in the same block overlap (MLP 2).
+		nLoads := int(float64(block) * c.cfg.LoadFrac)
+		pendingStall := uint64(0)
+		for l := 0; l < nLoads; l++ {
+			lat := uint64(c.mem.AccessData(c.loadAddr(h, l)))
+			if lat > robOverlap {
+				pendingStall += (lat - robOverlap) / 2 // MLP overlap
+			}
+		}
+		cycles += pendingStall
+
+		// The branch itself.
+		_, ev := c.bpu.Step(rec)
+		accountBranch(&res.Branch, ev)
+		if ev.Mispredict {
+			cycles += uint64(c.cfg.MispredictPenalty)
+		} else if ev.BTBMiss {
+			cycles += uint64(c.cfg.BTBMissPenalty)
+		}
+	}
+	res.Branch.Model = c.bpu.Name()
+	res.Branch.Workload = tr.Name
+	res.Branch.Records = len(tr.Records)
+	res.Instructions = instrs
+	res.Cycles = cycles
+	return res
+}
+
+// SMTResult is a two-thread co-run outcome.
+type SMTResult struct {
+	Workloads [2]string
+	Model     string
+	// PerThread are the per-thread timing results.
+	PerThread [2]Result
+	// Cycles is the shared-core total.
+	Cycles uint64
+}
+
+// HarmonicMeanIPC is the throughput metric of Fig. 5 (Michaud): the
+// harmonic mean of per-thread IPCs.
+func (r SMTResult) HarmonicMeanIPC() float64 {
+	hm, err := stats.HarmonicMean([]float64{r.PerThread[0].IPC(), r.PerThread[1].IPC()})
+	if err != nil {
+		return 0
+	}
+	return hm
+}
+
+// RunSMT co-runs two traces on one core in SMT mode: records interleave
+// round-robin (ICOUNT-style fairness), the BPU and caches are shared, and
+// both threads accumulate cycles on the shared clock.
+func (c *Core) RunSMT(a, b *trace.Trace) SMTResult {
+	res := SMTResult{Workloads: [2]string{a.Name, b.Name}, Model: c.bpu.Name()}
+	res.PerThread[0] = Result{Workload: a.Name, Model: c.bpu.Name()}
+	res.PerThread[1] = Result{Workload: b.Name, Model: c.bpu.Name()}
+	robOverlap := uint64(c.cfg.ROB / c.cfg.Width / 2) // window shared by threads
+
+	traces := [2]*trace.Trace{a, b}
+	idx := [2]int{}
+	var cycles uint64
+	for idx[0] < len(a.Records) || idx[1] < len(b.Records) {
+		for t := 0; t < 2; t++ {
+			tr := traces[t]
+			if idx[t] >= len(tr.Records) {
+				continue
+			}
+			rec := tr.Records[idx[t]]
+			// SMT threads must not collide in the token table: offset
+			// thread 1's PIDs into a disjoint range.
+			if t == 1 {
+				rec.PID += 1 << 16
+				rec.Program += 1 << 12
+			}
+			i := idx[t]
+			idx[t]++
+
+			h := recHash(rec, i)
+			block := 1 + int(h%uint64(2*c.cfg.InstrPerBranch))
+			th := &res.PerThread[t]
+			th.Instructions += uint64(block) + 1
+
+			cycles += uint64((block + c.cfg.Width - 1) / c.cfg.Width)
+			il := c.mem.AccessInstr(rec.PC)
+			if il > 4 {
+				cycles += uint64(il) / 2
+			}
+			nLoads := int(float64(block) * c.cfg.LoadFrac)
+			for l := 0; l < nLoads; l++ {
+				lat := uint64(c.mem.AccessData(c.loadAddr(h, l)))
+				if lat > robOverlap {
+					cycles += (lat - robOverlap) / 2
+				}
+			}
+			_, ev := c.bpu.Step(rec)
+			accountBranch(&th.Branch, ev)
+			if ev.Mispredict {
+				cycles += uint64(c.cfg.MispredictPenalty)
+			} else if ev.BTBMiss {
+				cycles += uint64(c.cfg.BTBMissPenalty)
+			}
+		}
+	}
+	res.Cycles = cycles
+	res.PerThread[0].Cycles = cycles
+	res.PerThread[1].Cycles = cycles
+	res.PerThread[0].Branch.Records = len(a.Records)
+	res.PerThread[1].Branch.Records = len(b.Records)
+	return res
+}
+
+// accountBranch mirrors sim.Run's event accounting for one record.
+func accountBranch(r *sim.Result, ev bpu.Events) {
+	if ev.Mispredict {
+		r.Mispredicts++
+	}
+	if ev.IsCond {
+		r.Conds++
+		if ev.DirCorrect {
+			r.DirCorrect++
+		}
+	}
+	if ev.TargetKnown {
+		r.TargetKnown++
+		if ev.TargetCorrect {
+			r.TargetCorrect++
+		}
+	}
+	if ev.BTBEviction {
+		r.Evictions++
+	}
+	if ev.BTBMiss {
+		r.BTBMisses++
+	}
+}

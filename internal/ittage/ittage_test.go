@@ -1,0 +1,215 @@
+package ittage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, cfg Config) *Predictor {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Banks: -1, MinHist: 4, MaxHist: 64, IndexBits: 9, TagBits: 8},
+		{Banks: 99, MinHist: 4, MaxHist: 64, IndexBits: 9, TagBits: 8},
+		{Banks: 4, MinHist: 0, MaxHist: 64, IndexBits: 9, TagBits: 8},
+		{Banks: 4, MinHist: 64, MaxHist: 4, IndexBits: 9, TagBits: 8},
+		{Banks: 4, MinHist: 4, MaxHist: 64, IndexBits: 0, TagBits: 8},
+		{Banks: 4, MinHist: 4, MaxHist: 64, IndexBits: 9, TagBits: 32},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+	// Zero value takes defaults.
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Lens()); got != DefaultConfig().Banks {
+		t.Errorf("zero config banks = %d", got)
+	}
+}
+
+func TestGeometricHistoryLengths(t *testing.T) {
+	p := mustNew(t, DefaultConfig())
+	lens := p.Lens()
+	if lens[0] != 4 || lens[len(lens)-1] != 64 {
+		t.Errorf("lens = %v, want endpoints 4 and 64", lens)
+	}
+	for i := 1; i < len(lens); i++ {
+		if lens[i] <= lens[i-1] {
+			t.Errorf("lens = %v not strictly increasing", lens)
+		}
+	}
+}
+
+func TestMonomorphicBranchLearned(t *testing.T) {
+	p := mustNew(t, DefaultConfig())
+	const pc, target = 0x40_1000, uint32(0xbeef_0000)
+	for i := 0; i < 8; i++ {
+		p.PredictTarget(pc)
+		p.UpdateTarget(pc, target)
+		p.OnBranch(pc, uint64(target), true)
+	}
+	got, ok := p.PredictTarget(pc)
+	if !ok || got != target {
+		t.Fatalf("monomorphic branch not learned: got %#x ok=%v", got, ok)
+	}
+}
+
+func TestPolymorphicBranchDisambiguatedByContext(t *testing.T) {
+	// A branch whose target depends on the preceding path: ITTAGE's
+	// raison d'être. The BTB mode-one entry would thrash; tagged
+	// history banks separate the two contexts.
+	p := mustNew(t, DefaultConfig())
+	const pc = 0x40_2000
+	ctxA := []uint64{0x10_0000, 0x10_0040, 0x10_0080}
+	ctxB := []uint64{0x20_0000, 0x20_0040, 0x20_0080}
+	targetOf := map[bool]uint32{true: 0xaaaa_0000, false: 0xbbbb_0000}
+
+	run := func(useA bool) (uint32, bool) {
+		ctx := ctxB
+		if useA {
+			ctx = ctxA
+		}
+		for _, cpc := range ctx {
+			p.OnBranch(cpc, cpc+0x40, true)
+		}
+		got, ok := p.PredictTarget(pc)
+		p.UpdateTarget(pc, targetOf[useA])
+		p.OnBranch(pc, uint64(targetOf[useA]), true)
+		return got, ok
+	}
+
+	// Interleave the two contexts; after warmup the predictor must
+	// track both.
+	for i := 0; i < 40; i++ {
+		run(i%2 == 0)
+	}
+	correct := 0
+	for i := 0; i < 40; i++ {
+		useA := i%2 == 0
+		got, ok := run(useA)
+		if ok && got == targetOf[useA] {
+			correct++
+		}
+	}
+	if correct < 30 {
+		t.Errorf("context-dependent targets: %d/40 correct, want >= 30", correct)
+	}
+	if p.Allocations == 0 {
+		t.Error("no allocations recorded for a polymorphic branch")
+	}
+}
+
+func TestFlushClearsState(t *testing.T) {
+	p := mustNew(t, DefaultConfig())
+	const pc, target = 0x40_3000, uint32(0x1234_5678)
+	for i := 0; i < 8; i++ {
+		p.PredictTarget(pc)
+		p.UpdateTarget(pc, target)
+		p.OnBranch(pc, uint64(target), true)
+	}
+	p.Flush()
+	if _, ok := p.PredictTarget(pc); ok {
+		t.Error("entry survived Flush")
+	}
+}
+
+// hasherFunc adapts a function to the Hasher interface.
+type hasherFunc func(pc uint64, fold uint64, bank int, indexBits, tagBits uint) (uint32, uint32)
+
+func (f hasherFunc) ITIndexTag(pc uint64, fold uint64, bank int, indexBits, tagBits uint) (idx, tag uint32) {
+	return f(pc, fold, bank, indexBits, tagBits)
+}
+
+func TestKeyedHasherSeparatesKeys(t *testing.T) {
+	// Two keys must produce substantially different (index, tag)
+	// mappings across a PC sample — the isolation property the ST
+	// wrapper relies on. Model a key as a pre-hash salt.
+	mk := func(salt uint64) Hasher {
+		return hasherFunc(func(pc uint64, fold uint64, bank int, indexBits, tagBits uint) (uint32, uint32) {
+			return legacyHasher{}.ITIndexTag(pc^salt*0x9e3779b97f4a7c15, fold, bank, indexBits, tagBits)
+		})
+	}
+	check := func(s1, s2 uint64) bool {
+		if s1 == s2 {
+			return true
+		}
+		a, b := mk(s1), mk(s2)
+		differ := 0
+		const sample = 64
+		for i := 0; i < sample; i++ {
+			pc := 0x40_0000 + uint64(i)*4
+			ia, ta := a.ITIndexTag(pc, 0, 0, 9, 8)
+			ib, tb := b.ITIndexTag(pc, 0, 0, 9, 8)
+			if ia != ib || ta != tb {
+				differ++
+			}
+		}
+		// With 9+8 output bits, two keys coinciding on most of 64 PCs
+		// would indicate broken keying.
+		return differ > sample/2
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutOfContractUpdateRecovers(t *testing.T) {
+	p := mustNew(t, DefaultConfig())
+	// UpdateTarget without a preceding PredictTarget for that pc must
+	// not corrupt state.
+	p.UpdateTarget(0x40_4000, 0xdead_0000)
+	for i := 0; i < 4; i++ {
+		p.PredictTarget(0x40_4000)
+		p.UpdateTarget(0x40_4000, 0xdead_0000)
+	}
+	got, ok := p.PredictTarget(0x40_4000)
+	if !ok || got != 0xdead_0000 {
+		t.Errorf("recovery failed: got %#x ok=%v", got, ok)
+	}
+}
+
+func TestHitRateAccounting(t *testing.T) {
+	p := mustNew(t, DefaultConfig())
+	if p.HitRate() != 0 {
+		t.Error("empty predictor should report zero hit rate")
+	}
+	p.PredictTarget(0x40_5000) // miss
+	p.UpdateTarget(0x40_5000, 1)
+	p.PredictTarget(0x40_5000)
+	if p.Hits+p.Misses < 2 {
+		t.Error("lookup accounting missing")
+	}
+}
+
+func TestFoldStability(t *testing.T) {
+	// The fold of n bits must depend only on the last n history pushes.
+	p := mustNew(t, DefaultConfig())
+	for i := 0; i < 200; i++ {
+		p.OnBranch(uint64(i)*64, uint64(i)*64+32, true)
+	}
+	f1 := p.fold(16)
+	q := mustNew(t, DefaultConfig())
+	for i := 0; i < 400; i++ {
+		q.OnBranch(0xdead, 0xbeef, true) // different prefix
+	}
+	for i := 200 - 16; i < 200; i++ {
+		q.OnBranch(uint64(i)*64, uint64(i)*64+32, true) // same last 16
+	}
+	if f2 := q.fold(16); f1 != f2 {
+		t.Errorf("fold(16) depends on history beyond the last 16 entries: %#x vs %#x", f1, f2)
+	}
+}

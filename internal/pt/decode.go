@@ -1,0 +1,393 @@
+package pt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"stbpu/internal/trace"
+)
+
+// Decoder reconstructs a record stream from STPT packets. It mirrors the
+// encoder's per-entity edge tables exactly: a record is emitted only when
+// its ordering tick arrives (a TNT bit for conditional/direct branches, a
+// TIP packet for indirect ones), and BIP packets teach edges the table
+// does not know yet.
+type Decoder struct {
+	r    *bufio.Reader
+	name string
+
+	states map[uint64]*entState
+
+	curPID     uint32
+	curProgram uint16
+	curKernel  bool
+
+	lastIP uint64
+
+	tntBits []bool
+	tntPos  int
+
+	// override holds the edge taught by a BIP packet, to be consumed by
+	// the next record instead of the table entry.
+	override    *edge
+	overrideRef uint64
+
+	records []trace.Record
+	done    bool
+	count   uint64
+}
+
+// NewDecoder reads the stream header and prepares to decode packets.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if magic != streamMagic {
+		return nil, ErrBadMagic
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	if ver != streamVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadVersion, ver)
+	}
+	var u16 [2]byte
+	if _, err := io.ReadFull(br, u16[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	name := make([]byte, binary.LittleEndian.Uint16(u16[:]))
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return &Decoder{
+		r:      br,
+		name:   string(name),
+		states: make(map[uint64]*entState),
+	}, nil
+}
+
+// Name returns the trace name carried in the stream header.
+func (d *Decoder) Name() string { return d.name }
+
+func (d *Decoder) state(id uint64) *entState {
+	st, ok := d.states[id]
+	if !ok {
+		st = newEntState()
+		d.states[id] = st
+	}
+	return st
+}
+
+func (d *Decoder) tntPending() bool { return d.tntPos < len(d.tntBits) }
+
+func (d *Decoder) nextTNT() bool {
+	b := d.tntBits[d.tntPos]
+	d.tntPos++
+	return b
+}
+
+// resolveTickRecords emits every record whose tick is already buffered:
+// table-predicted (or BIP-overridden) conditional and direct branches.
+// It stops at an indirect branch (needs a TIP packet) or an unknown edge
+// (needs a BIP packet).
+func (d *Decoder) resolveTickRecords() error {
+	for {
+		st := d.state(entityID(d.curPID, d.curKernel))
+		flowRef := uint64(0)
+		if st.haveFlow {
+			flowRef = st.flow
+		}
+
+		var ed edge
+		switch {
+		case d.override != nil:
+			if d.overrideRef != flowRef {
+				return fmt.Errorf("%w: BIP flow reference %#x, decoder at %#x",
+					ErrDesync, d.overrideRef, flowRef)
+			}
+			ed = *d.override
+		default:
+			var ok bool
+			ed, ok = st.edges[flowRef]
+			if !ok || !st.haveFlow {
+				return nil // need a BIP packet
+			}
+		}
+
+		if ed.kind.IsIndirect() {
+			return nil // need a TIP packet
+		}
+		if !d.tntPending() {
+			return nil // need more TNT bits
+		}
+		bit := d.nextTNT()
+		d.override = nil
+		st.edges[flowRef] = ed
+
+		rec := trace.Record{
+			PC:      ed.pc,
+			Kind:    ed.kind,
+			PID:     d.curPID,
+			Program: d.curProgram,
+			Kernel:  d.curKernel,
+		}
+		switch ed.kind {
+		case trace.KindCond:
+			rec.Taken = bit
+			if bit {
+				if !ed.hasStatic {
+					return fmt.Errorf("%w: taken conditional at %#x with no learned target",
+						ErrDesync, ed.pc)
+				}
+				rec.Target = ed.target
+			} else {
+				rec.Target = rec.FallThrough()
+			}
+		default: // direct jump/call
+			if !bit {
+				return fmt.Errorf("%w: direct branch at %#x with a not-taken tick",
+					ErrDesync, ed.pc)
+			}
+			rec.Taken = true
+			rec.Target = ed.target
+		}
+		d.emit(rec, st)
+	}
+}
+
+func (d *Decoder) emit(rec trace.Record, st *entState) {
+	d.records = append(d.records, rec)
+	if rec.Taken {
+		st.flow = rec.Target
+	} else {
+		st.flow = rec.FallThrough()
+	}
+	st.haveFlow = true
+}
+
+// resolveTIP completes the pending indirect branch with the TIP target.
+func (d *Decoder) resolveTIP(target uint64) error {
+	st := d.state(entityID(d.curPID, d.curKernel))
+	flowRef := uint64(0)
+	if st.haveFlow {
+		flowRef = st.flow
+	}
+	var ed edge
+	switch {
+	case d.override != nil:
+		if d.overrideRef != flowRef {
+			return fmt.Errorf("%w: BIP flow reference %#x, decoder at %#x",
+				ErrDesync, d.overrideRef, flowRef)
+		}
+		ed = *d.override
+	default:
+		var ok bool
+		ed, ok = st.edges[flowRef]
+		if !ok || !st.haveFlow {
+			return fmt.Errorf("%w: TIP with no pending branch", ErrDesync)
+		}
+	}
+	if !ed.kind.IsIndirect() {
+		return fmt.Errorf("%w: TIP for non-indirect branch at %#x", ErrDesync, ed.pc)
+	}
+	d.override = nil
+	st.edges[flowRef] = ed
+	d.emit(trace.Record{
+		PC:      ed.pc,
+		Target:  target,
+		Kind:    ed.kind,
+		Taken:   true,
+		PID:     d.curPID,
+		Program: d.curProgram,
+		Kernel:  d.curKernel,
+	}, st)
+	return nil
+}
+
+// contextBarrier enforces the encoder's flush discipline: a context or
+// end-of-trace packet may only arrive when every buffered tick has been
+// consumed and no branch is half-resolved.
+func (d *Decoder) contextBarrier(kind string) error {
+	if d.tntPending() || d.override != nil {
+		return fmt.Errorf("%w: %s packet with pending ticks", ErrDesync, kind)
+	}
+	return nil
+}
+
+func (d *Decoder) readUvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return v, nil
+}
+
+// step processes one packet. io.EOF from the header read is returned
+// as-is so Decode can distinguish truncation from completion.
+func (d *Decoder) step() error {
+	hdr, err := d.r.ReadByte()
+	if err != nil {
+		return err
+	}
+	switch hdr & pktTypeMask {
+	case pktPSB:
+		var pat [3]byte
+		if _, err := io.ReadFull(d.r, pat[:]); err != nil {
+			return fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
+		if pat != psbPattern {
+			return fmt.Errorf("%w: corrupt PSB pattern", ErrDesync)
+		}
+		return nil
+
+	case pktPIP:
+		if err := d.contextBarrier("PIP"); err != nil {
+			return err
+		}
+		pid, err := d.readUvarint()
+		if err != nil {
+			return err
+		}
+		prog, err := d.readUvarint()
+		if err != nil {
+			return err
+		}
+		if pid > 0xffffffff || prog > 0xffff {
+			return fmt.Errorf("%w: PIP fields out of range", ErrDesync)
+		}
+		d.curPID, d.curProgram = uint32(pid), uint16(prog)
+		return nil
+
+	case pktMODE:
+		if err := d.contextBarrier("MODE"); err != nil {
+			return err
+		}
+		flags, err := d.r.ReadByte()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
+		if flags > 1 {
+			return fmt.Errorf("%w: MODE flags %#x", ErrDesync, flags)
+		}
+		d.curKernel = flags == 1
+		return nil
+
+	case pktTNT:
+		nb, err := d.r.ReadByte()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
+		n := int(nb) + 1
+		payload := make([]byte, (n+7)/8)
+		if _, err := io.ReadFull(d.r, payload); err != nil {
+			return fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
+		// Compact the consumed prefix before appending.
+		if d.tntPos > 0 {
+			d.tntBits = d.tntBits[:copy(d.tntBits, d.tntBits[d.tntPos:])]
+			d.tntPos = 0
+		}
+		for i := 0; i < n; i++ {
+			d.tntBits = append(d.tntBits, payload[i/8]&(1<<(i%8)) != 0)
+		}
+		return d.resolveTickRecords()
+
+	case pktTIP:
+		level := int(hdr>>tipLevelShift) & tipLevelMask
+		var nbytes int
+		switch level {
+		case 0:
+			nbytes = 6
+		case 1:
+			nbytes = 2
+		case 2:
+			nbytes = 4
+		default:
+			return fmt.Errorf("%w: TIP compression level %d", ErrDesync, level)
+		}
+		var buf [8]byte
+		if _, err := io.ReadFull(d.r, buf[:nbytes]); err != nil {
+			return fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
+		target := binary.LittleEndian.Uint64(buf[:])
+		switch level {
+		case 1:
+			target |= d.lastIP >> 16 << 16
+		case 2:
+			target |= d.lastIP >> 32 << 32
+		}
+		d.lastIP = target
+		return d.resolveTIP(target)
+
+	case pktBIP:
+		if d.override != nil {
+			return fmt.Errorf("%w: consecutive BIP packets", ErrDesync)
+		}
+		kind := trace.Kind(hdr >> bipKindShift & bipKindMask)
+		if kind > trace.KindReturn {
+			return fmt.Errorf("%w: BIP kind %d", ErrDesync, int(kind))
+		}
+		st := d.state(entityID(d.curPID, d.curKernel))
+		flowRef := uint64(0)
+		if st.haveFlow {
+			flowRef = st.flow
+		}
+		pcd, err := d.readUvarint()
+		if err != nil {
+			return err
+		}
+		ed := edge{pc: flowRef + uint64(unzigzag(pcd)), kind: kind}
+		if hdr&bipHasStatic != 0 {
+			if !staticKind(kind) {
+				return fmt.Errorf("%w: static target on %v BIP", ErrDesync, kind)
+			}
+			td, err := d.readUvarint()
+			if err != nil {
+				return err
+			}
+			ed.target, ed.hasStatic = ed.pc+uint64(unzigzag(td)), true
+		}
+		d.override, d.overrideRef = &ed, flowRef
+		return d.resolveTickRecords()
+
+	case pktEOT:
+		if err := d.contextBarrier("EOT"); err != nil {
+			return err
+		}
+		count, err := d.readUvarint()
+		if err != nil {
+			return err
+		}
+		d.count, d.done = count, true
+		return nil
+
+	default:
+		return fmt.Errorf("%w: unknown packet type %d", ErrDesync, hdr&pktTypeMask)
+	}
+}
+
+// Decode reads an entire STPT stream and reconstructs the trace.
+func Decode(r io.Reader) (*trace.Trace, error) {
+	d, err := NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	for !d.done {
+		if err := d.step(); err != nil {
+			if err == io.EOF {
+				return nil, ErrTruncated
+			}
+			return nil, err
+		}
+	}
+	if uint64(len(d.records)) != d.count {
+		return nil, fmt.Errorf("%w: EOT count %d, decoded %d records",
+			ErrDesync, d.count, len(d.records))
+	}
+	return &trace.Trace{Name: d.name, Records: d.records}, nil
+}

@@ -1,0 +1,78 @@
+package pt
+
+import (
+	"bytes"
+	"testing"
+
+	"stbpu/internal/trace"
+)
+
+// FuzzDecode hammers the packet decoder with arbitrary byte streams: it
+// must always return an error or a well-formed trace, never panic or
+// hang. (go test runs the seed corpus; `go test -fuzz=FuzzDecode` explores.)
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid stream and a few mutations thereof.
+	tr := &trace.Trace{Name: "seed"}
+	for i := 0; i < 200; i++ {
+		kind := trace.Kind(i % 6)
+		rec := trace.Record{
+			PC:     0x40_0000 + uint64(i)*8,
+			Kind:   kind,
+			Taken:  true,
+			Target: 0x41_0000 + uint64(i%7)*0x40,
+			PID:    uint32(1 + i%3),
+			Kernel: i%11 == 0,
+		}
+		if kind == trace.KindCond && i%2 == 0 {
+			rec.Taken = false
+			rec.Target = rec.FallThrough()
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("STPT"))
+	f.Add([]byte{})
+	trunc := make([]byte, len(valid))
+	copy(trunc, valid)
+	trunc[10] ^= 0xff
+	f.Add(trunc)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(bytes.NewReader(data))
+		if err == nil && got == nil {
+			t.Fatal("nil trace with nil error")
+		}
+	})
+}
+
+// FuzzRoundTrip drives the encoder with structured random records and
+// checks the decode inverts it exactly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint16(50))
+	f.Add(uint64(0xdead), uint16(200))
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16) {
+		tr := randomTrace(int64(seed), int(n%512))
+		var buf bytes.Buffer
+		if _, err := Encode(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Records) != len(tr.Records) {
+			t.Fatalf("decoded %d records, want %d", len(got.Records), len(tr.Records))
+		}
+		for i := range tr.Records {
+			if tr.Records[i] != got.Records[i] {
+				t.Fatalf("record %d: got %+v want %+v", i, got.Records[i], tr.Records[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,130 @@
+// Package remap implements the STBPU keyed remapping functions R1..R4, Rt,
+// Rp (paper §IV-B, §V) and the automated generator that discovers them.
+//
+// A remapping function is a single-cycle hardware hash circuit composed of
+// substitution layers (4→4 and 3→3 S-boxes from PRESENT and SPONGENT),
+// permutation layers (P-boxes), and non-invertible compression layers
+// (XOR-tree C-S boxes). The generator (generate.go) composes circuits layer
+// by layer under the paper's constraints:
+//
+//	C1 — critical path within one clock cycle (≤45 transistors, cost.go)
+//	C2 — output uniformity (balls-and-bins bin CV, validate.go)
+//	C3 — strict avalanche criterion (validate.go)
+//
+// Two interchangeable backends implement the remap interface consumed by
+// the predictor models: CircuitSet (bit-accurate generated circuits) and
+// Mixer (a keyed xor-rotate-multiply mixer with the same keyed/uniform/
+// avalanche properties, ~10× faster in software; the simulator default).
+// DESIGN.md documents this substitution; TestBackendsAgreeOnAccuracy keeps
+// them statistically interchangeable.
+package remap
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxBits is the widest bit vector a circuit can consume or produce. The
+// widest paper function is R4 at 96 input bits (32 ψ + 16 GHR + 48 s);
+// TAGE folds longer histories before remapping, as real TAGE hardware does.
+const MaxBits = 128
+
+// Bits is a fixed 128-bit little-endian bit vector: bit i of the logical
+// value is bit (i%64) of word i/64.
+type Bits [2]uint64
+
+// BitsFrom packs the low n bits of x into a vector.
+func BitsFrom(x uint64) Bits { return Bits{x, 0} }
+
+// Get returns bit i.
+func (b Bits) Get(i int) uint64 { return (b[i>>6] >> (uint(i) & 63)) & 1 }
+
+// Set returns a copy with bit i set to v (0 or 1).
+func (b Bits) Set(i int, v uint64) Bits {
+	mask := uint64(1) << (uint(i) & 63)
+	if v != 0 {
+		b[i>>6] |= mask
+	} else {
+		b[i>>6] &^= mask
+	}
+	return b
+}
+
+// Flip returns a copy with bit i inverted.
+func (b Bits) Flip(i int) Bits {
+	b[i>>6] ^= uint64(1) << (uint(i) & 63)
+	return b
+}
+
+// Low returns the low 64 bits.
+func (b Bits) Low() uint64 { return b[0] }
+
+// Mask returns a copy with all bits at positions >= n cleared.
+func (b Bits) Mask(n int) Bits {
+	switch {
+	case n <= 0:
+		return Bits{}
+	case n < 64:
+		return Bits{b[0] & (1<<uint(n) - 1), 0}
+	case n == 64:
+		return Bits{b[0], 0}
+	case n < 128:
+		return Bits{b[0], b[1] & (1<<uint(n-64) - 1)}
+	default:
+		return b
+	}
+}
+
+// Xor returns the bitwise XOR of two vectors.
+func (b Bits) Xor(o Bits) Bits { return Bits{b[0] ^ o[0], b[1] ^ o[1]} }
+
+// OnesCount returns the number of set bits.
+func (b Bits) OnesCount() int {
+	return bits.OnesCount64(b[0]) + bits.OnesCount64(b[1])
+}
+
+// Field extracts width bits starting at bit offset as a uint32. It panics
+// if width exceeds 32.
+func (b Bits) Field(offset, width int) uint32 {
+	if width > 32 {
+		panic(fmt.Sprintf("remap: field width %d exceeds 32", width))
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		v |= b.Get(offset+i) << uint(i)
+	}
+	return uint32(v)
+}
+
+// PutField returns a copy with width bits of v stored at offset.
+func (b Bits) PutField(offset, width int, v uint64) Bits {
+	for i := 0; i < width; i++ {
+		b = b.Set(offset+i, (v>>uint(i))&1)
+	}
+	return b
+}
+
+// String renders the vector as hex (high word first) for debugging.
+func (b Bits) String() string { return fmt.Sprintf("%016x%016x", b[1], b[0]) }
+
+// PackInputs concatenates fields (each given as value+width, LSB first)
+// into a single vector: the standard way callers assemble ψ‖GHR‖s inputs.
+// It panics if the total exceeds MaxBits.
+func PackInputs(fields ...FieldSpec) Bits {
+	var b Bits
+	off := 0
+	for _, f := range fields {
+		if off+f.Width > MaxBits {
+			panic("remap: packed input exceeds MaxBits")
+		}
+		b = b.PutField(off, f.Width, f.Value)
+		off += f.Width
+	}
+	return b
+}
+
+// FieldSpec is one input field for PackInputs.
+type FieldSpec struct {
+	Value uint64
+	Width int
+}

@@ -1,0 +1,195 @@
+package remap
+
+import (
+	"fmt"
+)
+
+// LayerKind enumerates the primitive categories of §V-A: mixing primitives
+// (substitution and permutation) and non-invertible compression primitives.
+type LayerKind uint8
+
+const (
+	// LayerSub applies S-boxes over fixed-width groups of the state.
+	LayerSub LayerKind = iota
+	// LayerPerm rewires state bits (P-box).
+	LayerPerm
+	// LayerCompress XORs groups of input bits down to single output bits
+	// (C-S box): |m| -> |n| with |m| > |n|, non-invertible.
+	LayerCompress
+)
+
+// String names the layer kind.
+func (k LayerKind) String() string {
+	switch k {
+	case LayerSub:
+		return "sub"
+	case LayerPerm:
+		return "perm"
+	case LayerCompress:
+		return "compress"
+	default:
+		return fmt.Sprintf("LayerKind(%d)", uint8(k))
+	}
+}
+
+// Layer is one stage of a remapping circuit.
+type Layer struct {
+	Kind LayerKind
+
+	// LayerSub: Boxes[i] substitutes group i. Groups tile the state from
+	// bit 0 upward; each box consumes its Width bits. The tail group may
+	// use a 3-bit box when the width is not a multiple of 4.
+	Boxes []SBox
+
+	// LayerPerm: Perm[i] gives the source bit of output bit i; it must be
+	// a permutation of [0, width).
+	Perm []int
+
+	// LayerCompress: Groups[i] lists the input bit positions XORed into
+	// output bit i. The layer narrows the state to len(Groups) bits.
+	Groups [][]int
+}
+
+// Circuit is a complete remapping function candidate: a fixed-width input
+// (key material concatenated with address/history bits) flowing through an
+// ordered list of layers to a narrower output.
+type Circuit struct {
+	// Name labels the circuit in reports (e.g. "R1").
+	Name string
+	// InBits and OutBits are the interface widths (Table II).
+	InBits, OutBits int
+	// Layers is the stage list, applied in order.
+	Layers []Layer
+}
+
+// widthAfter returns the state width after layer i (state narrows only at
+// compression layers).
+func (c *Circuit) widthAfter(i int) int {
+	w := c.InBits
+	for l := 0; l <= i && l < len(c.Layers); l++ {
+		if c.Layers[l].Kind == LayerCompress {
+			w = len(c.Layers[l].Groups)
+		}
+	}
+	return w
+}
+
+// Validate checks structural well-formedness: layer widths chain correctly
+// and the final width equals OutBits.
+func (c *Circuit) Validate() error {
+	if c.InBits <= 0 || c.InBits > MaxBits {
+		return fmt.Errorf("remap: circuit %s: input width %d out of range", c.Name, c.InBits)
+	}
+	if c.OutBits <= 0 || c.OutBits > c.InBits {
+		return fmt.Errorf("remap: circuit %s: output width %d invalid", c.Name, c.OutBits)
+	}
+	w := c.InBits
+	for i, l := range c.Layers {
+		switch l.Kind {
+		case LayerSub:
+			total := 0
+			for _, b := range l.Boxes {
+				if !b.IsBijective() {
+					return fmt.Errorf("remap: circuit %s layer %d: non-bijective S-box %s", c.Name, i, b.Name)
+				}
+				total += b.Width
+			}
+			if total != w {
+				return fmt.Errorf("remap: circuit %s layer %d: S-boxes cover %d of %d bits", c.Name, i, total, w)
+			}
+		case LayerPerm:
+			if len(l.Perm) != w {
+				return fmt.Errorf("remap: circuit %s layer %d: perm width %d != %d", c.Name, i, len(l.Perm), w)
+			}
+			seen := make([]bool, w)
+			for _, src := range l.Perm {
+				if src < 0 || src >= w || seen[src] {
+					return fmt.Errorf("remap: circuit %s layer %d: invalid permutation", c.Name, i)
+				}
+				seen[src] = true
+			}
+		case LayerCompress:
+			if len(l.Groups) >= w || len(l.Groups) == 0 {
+				return fmt.Errorf("remap: circuit %s layer %d: compress %d -> %d is not a compression", c.Name, i, w, len(l.Groups))
+			}
+			for _, g := range l.Groups {
+				if len(g) == 0 {
+					return fmt.Errorf("remap: circuit %s layer %d: empty XOR group", c.Name, i)
+				}
+				for _, src := range g {
+					if src < 0 || src >= w {
+						return fmt.Errorf("remap: circuit %s layer %d: group source %d out of range", c.Name, i, src)
+					}
+				}
+			}
+			w = len(l.Groups)
+		default:
+			return fmt.Errorf("remap: circuit %s layer %d: unknown kind", c.Name, i)
+		}
+	}
+	if w != c.OutBits {
+		return fmt.Errorf("remap: circuit %s: final width %d != declared %d", c.Name, w, c.OutBits)
+	}
+	return nil
+}
+
+// Eval runs the circuit on an input vector (only the low InBits are used)
+// and returns the output in the low OutBits.
+func (c *Circuit) Eval(in Bits) Bits {
+	state := in.Mask(c.InBits)
+	w := c.InBits
+	for li := range c.Layers {
+		l := &c.Layers[li]
+		switch l.Kind {
+		case LayerSub:
+			var out Bits
+			off := 0
+			for _, b := range l.Boxes {
+				group := uint64(state.Field(off, b.Width))
+				out = out.PutField(off, b.Width, b.apply(group))
+				off += b.Width
+			}
+			state = out
+		case LayerPerm:
+			var out Bits
+			for i, src := range l.Perm {
+				out = out.Set(i, state.Get(src))
+			}
+			state = out
+		case LayerCompress:
+			var out Bits
+			for i, g := range l.Groups {
+				var v uint64
+				for _, src := range g {
+					v ^= state.Get(src)
+				}
+				out = out.Set(i, v)
+			}
+			state = out
+			w = len(l.Groups)
+		}
+	}
+	_ = w
+	return state.Mask(c.OutBits)
+}
+
+// NumLayers returns the stage count, the generator's depth measure.
+func (c *Circuit) NumLayers() int { return len(c.Layers) }
+
+// String summarizes the circuit structure.
+func (c *Circuit) String() string {
+	s := fmt.Sprintf("%s(%d->%d):", c.Name, c.InBits, c.OutBits)
+	w := c.InBits
+	for _, l := range c.Layers {
+		switch l.Kind {
+		case LayerSub:
+			s += fmt.Sprintf(" sub[%d]", len(l.Boxes))
+		case LayerPerm:
+			s += fmt.Sprintf(" perm[%d]", len(l.Perm))
+		case LayerCompress:
+			s += fmt.Sprintf(" cmp[%d->%d]", w, len(l.Groups))
+			w = len(l.Groups)
+		}
+	}
+	return s
+}

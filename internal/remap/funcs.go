@@ -1,0 +1,269 @@
+package remap
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Field widths of the STBPU remapping interface (paper Table II and the
+// Skylake-style baseline of §II-A).
+const (
+	// BTB geometry: 4096 entries, 8 ways -> 512 sets.
+	BTBIndexBits  = 9
+	BTBTagBits    = 8
+	BTBOffsetBits = 5
+	// PHT geometry: 2^14 sets, direct-mapped saturating counters.
+	PHTIndexBits = 14
+	// GHR bits hashed into the 2-level PHT lookup (STBPU input column).
+	GHRBits = 16
+	// BHB width feeding the indirect-target tag (R2).
+	BHBBits = 58
+	// Source address bits: full 48-bit virtual addresses, unlike the
+	// truncated 32-bit legacy inputs (prevents same-address-space
+	// collisions, §IV-B).
+	SourceBits = 48
+	// PsiBits is the keyed half of the secret token used for remapping.
+	PsiBits = 32
+	// TAGE bank interface maxima (10/13 index, 8/12 tag per Table II).
+	TageMaxIndexBits = 13
+	TageMaxTagBits   = 12
+	// Perceptron table index width.
+	PerceptronIndexBits = 10
+)
+
+// Funcs is the remapping interface the STBPU hardware exposes to the
+// predictor structures. ψ (psi) is the keyed half of the current secret
+// token; s is the 48-bit branch virtual address.
+//
+// The two implementations are NewCircuitFuncs (bit-accurate generated
+// circuits) and NewMixer (fast software-equivalent; simulator default).
+type Funcs interface {
+	// R1 computes the BTB set index, tag, and offset (mode-one lookup).
+	R1(psi uint32, s uint64) (ind, tag, offs uint32)
+	// R2 computes the BTB tag for mode-two (BHB-indexed indirect) lookups.
+	R2(psi uint32, bhb uint64) uint32
+	// R3 computes the 1-level PHT index.
+	R3(psi uint32, s uint64) uint32
+	// R4 computes the 2-level PHT index from the GHR and address.
+	R4(psi uint32, ghr uint16, s uint64) uint32
+	// Rt computes a TAGE bank index/tag from folded history; indBits and
+	// tagBits select the bank geometry (≤13/≤12).
+	Rt(psi uint32, s, foldedHist uint64, indBits, tagBits uint) (ind, tag uint32)
+	// Rp computes the Perceptron table index.
+	Rp(psi uint32, s uint64) uint32
+}
+
+// TableIIRow documents one row of the paper's Table II.
+type TableIIRow struct {
+	Name           string
+	BaselineInBits int
+	STBPUInBits    int
+	OutBits        int
+	OutDesc        string
+}
+
+// TableII returns the I/O bit accounting of the baseline and STBPU
+// remapping functions exactly as the paper's Table II lists them.
+func TableII() []TableIIRow {
+	return []TableIIRow{
+		{"R1", 32, PsiBits + SourceBits, BTBIndexBits + BTBTagBits + BTBOffsetBits, "9 ind, 8 tag, 5 offs"},
+		{"R2", BHBBits, PsiBits + BHBBits, BTBTagBits, "8 tag"},
+		{"R3", 32, PsiBits + SourceBits, PHTIndexBits, "14 ind"},
+		{"R4", 18 + 32, PsiBits + GHRBits + SourceBits, PHTIndexBits, "14 ind"},
+		{"Rt", SourceBits, PsiBits + SourceBits + GHRBits, TageMaxIndexBits + TageMaxTagBits, "10/13 ind, 8/12 tag"},
+		{"Rp", SourceBits, PsiBits + SourceBits, PerceptronIndexBits, "10 ind"},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Mixer: fast keyed backend.
+
+// Mixer implements Funcs with a keyed xor-multiply finalizer per function.
+// Each function uses a distinct domain-separation constant so R1..Rp are
+// independent even under the same ψ. It satisfies C2/C3 statistically
+// (validated in tests with the same Evaluate harness as the circuits) and
+// is the hot-loop default.
+type Mixer struct{}
+
+// NewMixer returns the fast remapping backend.
+func NewMixer() Mixer { return Mixer{} }
+
+var _ Funcs = Mixer{}
+
+// mix64 is a strengthened SplitMix64-style finalizer over three words.
+func mix64(dom, a, b uint64) uint64 {
+	h := dom ^ 0x9e3779b97f4a7c15
+	h = (h ^ a) * 0xbf58476d1ce4e5b9
+	h ^= h >> 31
+	h = (h ^ b) * 0x94d049bb133111eb
+	h ^= h >> 29
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 32
+	return h
+}
+
+// R1 implements Funcs.
+func (Mixer) R1(psi uint32, s uint64) (ind, tag, offs uint32) {
+	h := mix64(0x5b1, uint64(psi), s&vaMask48)
+	ind = uint32(h) & (1<<BTBIndexBits - 1)
+	tag = uint32(h>>BTBIndexBits) & (1<<BTBTagBits - 1)
+	offs = uint32(h>>(BTBIndexBits+BTBTagBits)) & (1<<BTBOffsetBits - 1)
+	return ind, tag, offs
+}
+
+// R2 implements Funcs.
+func (Mixer) R2(psi uint32, bhb uint64) uint32 {
+	h := mix64(0x5b2, uint64(psi), bhb&(1<<BHBBits-1))
+	return uint32(h) & (1<<BTBTagBits - 1)
+}
+
+// R3 implements Funcs.
+func (Mixer) R3(psi uint32, s uint64) uint32 {
+	h := mix64(0x5b3, uint64(psi), s&vaMask48)
+	return uint32(h) & (1<<PHTIndexBits - 1)
+}
+
+// R4 implements Funcs.
+func (Mixer) R4(psi uint32, ghr uint16, s uint64) uint32 {
+	h := mix64(0x5b4, uint64(psi)|uint64(ghr)<<32, s&vaMask48)
+	return uint32(h) & (1<<PHTIndexBits - 1)
+}
+
+// Rt implements Funcs.
+func (Mixer) Rt(psi uint32, s, foldedHist uint64, indBits, tagBits uint) (ind, tag uint32) {
+	h := mix64(0x5b7, uint64(psi)^foldedHist<<16, s&vaMask48)
+	ind = uint32(h) & (1<<indBits - 1)
+	tag = uint32(h>>32) & (1<<tagBits - 1)
+	return ind, tag
+}
+
+// Rp implements Funcs.
+func (Mixer) Rp(psi uint32, s uint64) uint32 {
+	h := mix64(0x5b9, uint64(psi), s&vaMask48)
+	return uint32(h) & (1<<PerceptronIndexBits - 1)
+}
+
+const vaMask48 = 1<<SourceBits - 1
+
+// ---------------------------------------------------------------------------
+// CircuitSet: bit-accurate generated backend.
+
+// CircuitSet implements Funcs by evaluating generated hardware circuits.
+type CircuitSet struct {
+	R1c, R2c, R3c, R4c, Rtc, Rpc *Circuit
+}
+
+var _ Funcs = (*CircuitSet)(nil)
+
+// circuitSpecs defines the generator configuration for each shipped
+// function (widths per Table II's STBPU column).
+func circuitSpecs() []GenConfig {
+	return []GenConfig{
+		{Name: "R1", InBits: PsiBits + SourceBits, OutBits: BTBIndexBits + BTBTagBits + BTBOffsetBits},
+		{Name: "R2", InBits: PsiBits + BHBBits, OutBits: BTBTagBits},
+		{Name: "R3", InBits: PsiBits + SourceBits, OutBits: PHTIndexBits},
+		{Name: "R4", InBits: PsiBits + GHRBits + SourceBits, OutBits: PHTIndexBits},
+		{Name: "Rt", InBits: PsiBits + SourceBits + GHRBits, OutBits: TageMaxIndexBits + TageMaxTagBits},
+		{Name: "Rp", InBits: PsiBits + SourceBits, OutBits: PerceptronIndexBits},
+	}
+}
+
+// GenerateSet runs the generator for all six functions with the provided
+// overrides applied to every spec (zero-value fields keep defaults).
+func GenerateSet(candidates, samples int, seed uint64) (*CircuitSet, error) {
+	var set CircuitSet
+	slots := map[string]**Circuit{
+		"R1": &set.R1c, "R2": &set.R2c, "R3": &set.R3c,
+		"R4": &set.R4c, "Rt": &set.Rtc, "Rp": &set.Rpc,
+	}
+	for _, spec := range circuitSpecs() {
+		spec.Candidates = candidates
+		spec.Samples = samples
+		if seed != 0 {
+			spec.Seed = seed ^ uint64(len(spec.Name))<<32 ^ uint64(spec.InBits)
+		}
+		c, _, err := Generate(spec)
+		if err != nil {
+			return nil, fmt.Errorf("remap: generating %s: %w", spec.Name, err)
+		}
+		*slots[spec.Name] = c
+	}
+	return &set, nil
+}
+
+var (
+	defaultSetOnce sync.Once
+	defaultSet     *CircuitSet
+	defaultSetErr  error
+)
+
+// DefaultCircuitSet returns the lazily generated shipped circuit set
+// (fixed seed, light validation — full validation lives in tests and the
+// remapgen CLI).
+func DefaultCircuitSet() (*CircuitSet, error) {
+	defaultSetOnce.Do(func() {
+		defaultSet, defaultSetErr = GenerateSet(3, 256, 0x57b9_0001)
+	})
+	return defaultSet, defaultSetErr
+}
+
+// R1 implements Funcs.
+func (cs *CircuitSet) R1(psi uint32, s uint64) (ind, tag, offs uint32) {
+	out := cs.R1c.Eval(PackInputs(
+		FieldSpec{uint64(psi), PsiBits},
+		FieldSpec{s & vaMask48, SourceBits},
+	))
+	ind = out.Field(0, BTBIndexBits)
+	tag = out.Field(BTBIndexBits, BTBTagBits)
+	offs = out.Field(BTBIndexBits+BTBTagBits, BTBOffsetBits)
+	return ind, tag, offs
+}
+
+// R2 implements Funcs.
+func (cs *CircuitSet) R2(psi uint32, bhb uint64) uint32 {
+	out := cs.R2c.Eval(PackInputs(
+		FieldSpec{uint64(psi), PsiBits},
+		FieldSpec{bhb & (1<<BHBBits - 1), BHBBits},
+	))
+	return out.Field(0, BTBTagBits)
+}
+
+// R3 implements Funcs.
+func (cs *CircuitSet) R3(psi uint32, s uint64) uint32 {
+	out := cs.R3c.Eval(PackInputs(
+		FieldSpec{uint64(psi), PsiBits},
+		FieldSpec{s & vaMask48, SourceBits},
+	))
+	return out.Field(0, PHTIndexBits)
+}
+
+// R4 implements Funcs.
+func (cs *CircuitSet) R4(psi uint32, ghr uint16, s uint64) uint32 {
+	out := cs.R4c.Eval(PackInputs(
+		FieldSpec{uint64(psi), PsiBits},
+		FieldSpec{uint64(ghr), GHRBits},
+		FieldSpec{s & vaMask48, SourceBits},
+	))
+	return out.Field(0, PHTIndexBits)
+}
+
+// Rt implements Funcs.
+func (cs *CircuitSet) Rt(psi uint32, s, foldedHist uint64, indBits, tagBits uint) (ind, tag uint32) {
+	out := cs.Rtc.Eval(PackInputs(
+		FieldSpec{uint64(psi), PsiBits},
+		FieldSpec{s & vaMask48, SourceBits},
+		FieldSpec{foldedHist & (1<<GHRBits - 1), GHRBits},
+	))
+	ind = out.Field(0, TageMaxIndexBits) & (1<<indBits - 1)
+	tag = out.Field(TageMaxIndexBits, TageMaxTagBits) & (1<<tagBits - 1)
+	return ind, tag
+}
+
+// Rp implements Funcs.
+func (cs *CircuitSet) Rp(psi uint32, s uint64) uint32 {
+	out := cs.Rpc.Eval(PackInputs(
+		FieldSpec{uint64(psi), PsiBits},
+		FieldSpec{s & vaMask48, SourceBits},
+	))
+	return out.Field(0, PerceptronIndexBits)
+}

@@ -1,0 +1,306 @@
+package remap
+
+import (
+	"errors"
+	"fmt"
+
+	"stbpu/internal/rng"
+)
+
+// Automated remap-function generation (§V-A). The algorithm takes hardware
+// constraints, composes candidate circuits one layer at a time from the
+// primitive pool, and tests after every layer:
+//
+//  1. design satisfies all constraints and is structurally complete →
+//     stored for scoring;
+//  2. design violates a constraint → discarded;
+//  3. design is incomplete but within budget → the primitive-selection
+//     weights are adjusted and another layer is added.
+//
+// Completed candidates are scored with the unit-weight objective of §V-B
+// (QualityReport.Score) and the minimum wins.
+
+// GenConfig parameterizes one generator run.
+type GenConfig struct {
+	// Name labels the resulting circuit ("R1", ...).
+	Name string
+	// InBits/OutBits are the interface widths from Table II.
+	InBits, OutBits int
+	// Constraints is the C1 budget; zero value means DefaultConstraints.
+	Constraints Constraints
+	// Cost is the transistor model; zero value means DefaultCostModel.
+	Cost CostModel
+	// Candidates is how many constraint-satisfying designs to score
+	// (default 8).
+	Candidates int
+	// Samples is the validation sample count per candidate (default 512;
+	// the paper's final validation uses 1e6, applied in tests and the
+	// remapgen CLI rather than on every construction).
+	Samples int
+	// MaxAttempts bounds total layer-addition restarts (default 2000).
+	MaxAttempts int
+	// Seed fixes the search; 0 derives one from the name.
+	Seed uint64
+}
+
+func (c *GenConfig) fill() {
+	if c.Constraints == (Constraints{}) {
+		c.Constraints = DefaultConstraints
+	}
+	if c.Cost == (CostModel{}) {
+		c.Cost = DefaultCostModel
+	}
+	if c.Candidates <= 0 {
+		c.Candidates = 8
+	}
+	if c.Samples <= 0 {
+		c.Samples = 512
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 2000
+	}
+}
+
+// ErrNoCandidate is returned when no circuit satisfying the constraints was
+// found within the attempt budget.
+var ErrNoCandidate = errors.New("remap: no constraint-satisfying candidate found")
+
+// Generate searches for a remapping function meeting the configuration.
+// It returns the best-scoring circuit and its quality report.
+func Generate(cfg GenConfig) (*Circuit, QualityReport, error) {
+	cfg.fill()
+	if cfg.InBits <= 0 || cfg.InBits > MaxBits || cfg.OutBits <= 0 || cfg.OutBits >= cfg.InBits {
+		return nil, QualityReport{}, fmt.Errorf("remap: invalid widths %d->%d", cfg.InBits, cfg.OutBits)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		r := rng.NewFromString("remapgen:" + cfg.Name)
+		seed = r.Uint64()
+	}
+	r := rng.New(seed)
+
+	var (
+		best      *Circuit
+		bestQ     QualityReport
+		bestScore = 1e18
+		found     int
+	)
+	for attempt := 0; attempt < cfg.MaxAttempts && found < cfg.Candidates; attempt++ {
+		c := buildCandidate(cfg, r)
+		if c == nil {
+			continue
+		}
+		if err := c.Validate(); err != nil {
+			continue
+		}
+		cost := cfg.Cost.Estimate(c)
+		if cost.Satisfies(cfg.Constraints) != nil {
+			continue
+		}
+		q := EvaluateCircuit(c, cfg.Samples, r)
+		found++
+		if s := q.Score(); s < bestScore {
+			best, bestQ, bestScore = c, q, s
+		}
+	}
+	if best == nil {
+		return nil, QualityReport{}, fmt.Errorf("%w (%s %d->%d)", ErrNoCandidate, cfg.Name, cfg.InBits, cfg.OutBits)
+	}
+	return best, bestQ, nil
+}
+
+// buildCandidate assembles one circuit layer by layer, steering primitive
+// selection as the remaining depth budget shrinks (the "case 3" weight
+// adjustment of §V-A). Returns nil if the build dead-ends.
+//
+// The layer grammar mirrors the published R1 structure (Fig. 2): mixing
+// stages (substitution + permutation), a non-invertible XOR compression
+// where every input wire fans out into ≥2 XOR trees, and post-compression
+// substitution stages. The input fan-out is what gives the avalanche
+// property: one flipped input bit deterministically flips fanout output
+// bits of the compression, and the surrounding S-box stages make the
+// pattern data-dependent.
+func buildCandidate(cfg GenConfig, r *rng.Rand) *Circuit {
+	c := &Circuit{Name: cfg.Name, InBits: cfg.InBits, OutBits: cfg.OutBits}
+	w := cfg.InBits
+
+	// Pick the compression fan-out by depth budget: higher fan-out means
+	// deeper XOR trees but stronger diffusion.
+	fanout := 2 + r.Intn(2)
+	preSubs := 1
+	postSubs := 2
+	budget := func(f, pre, post int) int {
+		k := (f*w + cfg.OutBits - 1) / cfg.OutBits
+		return (pre+post)*cfg.Cost.SBox4Path + log2ceil(k)*cfg.Cost.XorPath
+	}
+	for budget(fanout, preSubs, postSubs) > cfg.Constraints.MaxCriticalPath && fanout > 2 {
+		fanout--
+	}
+	for budget(fanout, preSubs, postSubs) > cfg.Constraints.MaxCriticalPath && postSubs > 1 {
+		postSubs--
+	}
+	if budget(fanout, preSubs, postSubs) > cfg.Constraints.MaxCriticalPath {
+		return nil
+	}
+
+	// Pre-compression mixing: substitution then permutation.
+	for i := 0; i < preSubs; i++ {
+		l, ok := makeSubLayer(w, r)
+		if !ok {
+			return nil
+		}
+		c.Layers = append(c.Layers, l)
+		c.Layers = append(c.Layers, makePermLayer(w, cfg.Constraints.MaxCrossover, r))
+	}
+
+	// Non-invertible compression with input fan-out.
+	c.Layers = append(c.Layers, makeCompressLayer(w, cfg.OutBits, fanout, r))
+	w = cfg.OutBits
+
+	// Post-compression mixing: substitution (and permutation between
+	// substitution stages so S-box group boundaries shift).
+	for i := 0; i < postSubs; i++ {
+		l, ok := makeSubLayer(w, r)
+		if !ok {
+			return nil
+		}
+		c.Layers = append(c.Layers, l)
+		if i != postSubs-1 {
+			c.Layers = append(c.Layers, makePermLayer(w, cfg.Constraints.MaxCrossover, r))
+		}
+	}
+	if len(c.Layers) > cfg.Constraints.MaxLayers {
+		return nil
+	}
+	return c
+}
+
+// makeSubLayer tiles the state width with S-boxes from the pool: 4-bit
+// boxes with 3-bit boxes covering the remainder (4a + 3b = w). Returns
+// ok=false for widths < 3 that cannot be tiled.
+func makeSubLayer(w int, r *rng.Rand) (Layer, bool) {
+	n3 := 0
+	switch w % 4 {
+	case 1:
+		n3 = 3
+	case 2:
+		n3 = 2
+	case 3:
+		n3 = 1
+	}
+	if w < 3*n3 || (w-3*n3)%4 != 0 {
+		return Layer{}, false
+	}
+	n4 := (w - 3*n3) / 4
+	boxes := make([]SBox, 0, n4+n3)
+	for i := 0; i < n4; i++ {
+		if r.Bool(0.5) {
+			boxes = append(boxes, PresentSBox)
+		} else {
+			boxes = append(boxes, SpongentSBox)
+		}
+	}
+	for i := 0; i < n3; i++ {
+		boxes = append(boxes, Cube3SBox)
+	}
+	// Shuffle so 3-bit boxes are not always at the top of the state.
+	r.Shuffle(len(boxes), func(i, j int) { boxes[i], boxes[j] = boxes[j], boxes[i] })
+	return Layer{Kind: LayerSub, Boxes: boxes}, true
+}
+
+// makePermLayer builds a displacement-bounded random permutation (each wire
+// moves at most maxCross positions, respecting the crossover budget).
+func makePermLayer(w, maxCross int, r *rng.Rand) Layer {
+	perm := make([]int, w)
+	for i := range perm {
+		perm[i] = i
+	}
+	if maxCross < 1 {
+		maxCross = 1
+	}
+	// Bounded Fisher-Yates: swap i with a partner within the window.
+	for i := w - 1; i > 0; i-- {
+		lo := i - maxCross
+		if lo < 0 {
+			lo = 0
+		}
+		j := lo + r.Intn(i-lo+1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return Layer{Kind: LayerPerm, Perm: perm}
+}
+
+// makeCompressLayer XOR-folds w bits down to out bits with the given input
+// fan-out: every input bit feeds `fanout` distinct XOR trees, dealt
+// round-robin over independent random permutations so group sizes differ by
+// at most one — the non-invertible C-S box structure of §V-A. Duplicate
+// placements (which would cancel under XOR) are skipped forward.
+func makeCompressLayer(w, out, fanout int, r *rng.Rand) Layer {
+	groups := make([][]int, out)
+	contains := func(g []int, v int) bool {
+		for _, x := range g {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	for f := 0; f < fanout; f++ {
+		order := r.Perm(w)
+		for i, src := range order {
+			g := (i + f) % out
+			for contains(groups[g], src) {
+				g = (g + 1) % out
+			}
+			groups[g] = append(groups[g], src)
+		}
+	}
+	// Uniform fan-out makes the group-membership matrix rank-deficient
+	// over GF(2) when the fan-out is even (the XOR of all rows is zero),
+	// which would confine outputs to a linear subspace and wreck C2.
+	// Perturb single inputs into extra groups until the matrix has full
+	// row rank.
+	for attempt := 0; attempt < 8*out && compressRank(groups, w) < out; attempt++ {
+		src := r.Intn(w)
+		g := r.Intn(out)
+		if !contains(groups[g], src) {
+			groups[g] = append(groups[g], src)
+		}
+	}
+	return Layer{Kind: LayerCompress, Groups: groups}
+}
+
+// compressRank returns the GF(2) rank of the out×w group-membership matrix.
+// Columns are represented as bitmasks of the groups containing each input.
+func compressRank(groups [][]int, w int) int {
+	cols := make([]uint32, w)
+	for g, members := range groups {
+		for _, src := range members {
+			cols[src] |= 1 << uint(g)
+		}
+	}
+	rank := 0
+	for bit := 0; bit < len(groups); bit++ {
+		pivot := -1
+		for i := rank; i < len(cols); i++ {
+			if cols[i]&(1<<uint(bit)) != 0 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		cols[rank], cols[pivot] = cols[pivot], cols[rank]
+		for i := 0; i < len(cols); i++ {
+			if i != rank && cols[i]&(1<<uint(bit)) != 0 {
+				cols[i] ^= cols[rank]
+			}
+		}
+		rank++
+		if rank == len(groups) {
+			break
+		}
+	}
+	return rank
+}

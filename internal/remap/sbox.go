@@ -1,0 +1,67 @@
+package remap
+
+// S-boxes from the lightweight ciphers the paper draws its primitives from
+// (§V-A): PRESENT (Bogdanov et al., CHES 2007) and SPONGENT (Bogdanov et
+// al., CHES 2011). Both are 4-bit optimal S-boxes in the Leander–Poschmann
+// classification: maximal nonlinearity and full diffusion, implementable in
+// a handful of gate levels.
+
+// SBox is a bijective n→n substitution table (n = 3 or 4 here).
+type SBox struct {
+	// Name identifies the source cipher for reports.
+	Name string
+	// Width is the input/output width in bits (3 or 4).
+	Width int
+	// Table maps each input value to its substitution.
+	Table []uint8
+}
+
+// PresentSBox is the PRESENT cipher's 4-bit S-box.
+var PresentSBox = SBox{
+	Name:  "PRESENT",
+	Width: 4,
+	Table: []uint8{0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2},
+}
+
+// SpongentSBox is the SPONGENT hash's 4-bit S-box.
+var SpongentSBox = SBox{
+	Name:  "SPONGENT",
+	Width: 4,
+	Table: []uint8{0xE, 0xD, 0xB, 0x0, 0x2, 0x1, 0x4, 0xF, 0x7, 0xA, 0x8, 0x5, 0x9, 0xC, 0x3, 0x6},
+}
+
+// Cube3SBox is a 3-bit S-box (the inverse-based permutation x -> x^-1 style
+// table used for odd-width tail groups; 3→3 S-boxes are what the paper's R1
+// uses alongside 4→4 boxes in its substitution stages).
+var Cube3SBox = SBox{
+	Name:  "CUBE3",
+	Width: 3,
+	Table: []uint8{0x1, 0x5, 0x6, 0x3, 0x7, 0x4, 0x2, 0x0},
+}
+
+// AllSBoxes is the primitive pool the generator samples substitution layers
+// from.
+var AllSBoxes = []SBox{PresentSBox, SpongentSBox, Cube3SBox}
+
+// IsBijective reports whether the table is a permutation of its domain.
+// The generator rejects non-bijective substitution primitives because a
+// substitution stage must not lose entropy (compression is the C-S boxes'
+// job, where it is accounted for).
+func (s SBox) IsBijective() bool {
+	if len(s.Table) != 1<<uint(s.Width) {
+		return false
+	}
+	seen := make([]bool, len(s.Table))
+	for _, v := range s.Table {
+		if int(v) >= len(s.Table) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// apply substitutes the low Width bits of group v.
+func (s SBox) apply(v uint64) uint64 {
+	return uint64(s.Table[v&uint64(len(s.Table)-1)])
+}

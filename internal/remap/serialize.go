@@ -1,0 +1,257 @@
+package remap
+
+// serialize.go gives generated circuits a durable text form: §V-B ends
+// with the generator handing its selected functions to "hardware
+// developers for a specific CPU design", which requires the circuit to
+// leave the process. The format is line-oriented and diff-friendly:
+//
+//	circuit R1 in=80 out=22
+//	sub 4:PRESENT 4:PRESENT 3:CUBE3 ...
+//	perm 3 0 1 2 ...
+//	compress 0,5,9 1,6 ...
+//	end
+//
+// MarshalText/UnmarshalText round-trip exactly; Netlist renders the same
+// circuit as a flat gate-level netlist for synthesis handoff.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MarshalText implements encoding.TextMarshaler.
+func (c *Circuit) MarshalText() ([]byte, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("remap: refusing to marshal invalid circuit: %w", err)
+	}
+	var b bytes.Buffer
+	name := c.Name
+	if name == "" {
+		name = "_" // sentinel for the unnamed case; round-trips to ""
+	}
+	fmt.Fprintf(&b, "circuit %s in=%d out=%d\n", name, c.InBits, c.OutBits)
+	for _, l := range c.Layers {
+		switch l.Kind {
+		case LayerSub:
+			b.WriteString("sub")
+			for _, box := range l.Boxes {
+				fmt.Fprintf(&b, " %d:%s", box.Width, box.Name)
+			}
+			b.WriteByte('\n')
+		case LayerPerm:
+			b.WriteString("perm")
+			for _, src := range l.Perm {
+				fmt.Fprintf(&b, " %d", src)
+			}
+			b.WriteByte('\n')
+		case LayerCompress:
+			b.WriteString("compress")
+			for _, group := range l.Groups {
+				b.WriteByte(' ')
+				for j, bit := range group {
+					if j > 0 {
+						b.WriteByte(',')
+					}
+					b.WriteString(strconv.Itoa(bit))
+				}
+			}
+			b.WriteByte('\n')
+		default:
+			return nil, fmt.Errorf("remap: unknown layer kind %d", l.Kind)
+		}
+	}
+	b.WriteString("end\n")
+	return b.Bytes(), nil
+}
+
+// boxByName resolves an S-box primitive by its registered name and width.
+func boxByName(width int, name string) (SBox, error) {
+	for _, box := range AllSBoxes {
+		if box.Name == name && box.Width == width {
+			return box, nil
+		}
+	}
+	return SBox{}, fmt.Errorf("remap: unknown S-box %d:%s", width, name)
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (c *Circuit) UnmarshalText(data []byte) error {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	if !sc.Scan() {
+		return fmt.Errorf("remap: empty circuit text")
+	}
+	hdr := strings.Fields(sc.Text())
+	if len(hdr) != 4 || hdr[0] != "circuit" ||
+		!strings.HasPrefix(hdr[2], "in=") || !strings.HasPrefix(hdr[3], "out=") {
+		return fmt.Errorf("remap: bad circuit header %q", sc.Text())
+	}
+	in, err1 := strconv.Atoi(hdr[2][3:])
+	out, err2 := strconv.Atoi(hdr[3][4:])
+	if err1 != nil || err2 != nil {
+		return fmt.Errorf("remap: bad circuit header %q", sc.Text())
+	}
+	name := hdr[1]
+	if name == "_" {
+		name = ""
+	}
+	parsed := Circuit{Name: name, InBits: in, OutBits: out}
+
+	ended := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "end":
+			ended = true
+		case "sub":
+			var l Layer
+			l.Kind = LayerSub
+			for _, spec := range fields[1:] {
+				var width int
+				var bname string
+				if _, err := fmt.Sscanf(spec, "%d:%s", &width, &bname); err != nil {
+					return fmt.Errorf("remap: bad box spec %q: %v", spec, err)
+				}
+				box, err := boxByName(width, bname)
+				if err != nil {
+					return err
+				}
+				l.Boxes = append(l.Boxes, box)
+			}
+			parsed.Layers = append(parsed.Layers, l)
+		case "perm":
+			var l Layer
+			l.Kind = LayerPerm
+			for _, f := range fields[1:] {
+				src, err := strconv.Atoi(f)
+				if err != nil {
+					return fmt.Errorf("remap: bad perm index %q: %v", f, err)
+				}
+				l.Perm = append(l.Perm, src)
+			}
+			parsed.Layers = append(parsed.Layers, l)
+		case "compress":
+			var l Layer
+			l.Kind = LayerCompress
+			for _, spec := range fields[1:] {
+				var group []int
+				for _, f := range strings.Split(spec, ",") {
+					bit, err := strconv.Atoi(f)
+					if err != nil {
+						return fmt.Errorf("remap: bad compress bit %q: %v", f, err)
+					}
+					group = append(group, bit)
+				}
+				l.Groups = append(l.Groups, group)
+			}
+			parsed.Layers = append(parsed.Layers, l)
+		default:
+			return fmt.Errorf("remap: unknown directive %q", fields[0])
+		}
+		if ended {
+			break
+		}
+	}
+	if !ended {
+		return fmt.Errorf("remap: missing end directive")
+	}
+	if err := parsed.Validate(); err != nil {
+		return fmt.Errorf("remap: parsed circuit invalid: %w", err)
+	}
+	*c = parsed
+	return nil
+}
+
+// WriteNetlist renders the circuit as a flat, gate-level netlist in a
+// structural-Verilog-like text form: wires are named s<stage>_<bit>,
+// S-boxes become LUT instances, permutations become assigns, and
+// compression groups become XOR trees. This is the synthesis-handoff
+// artifact of §V-B.
+func (c *Circuit) WriteNetlist(w io.Writer) error {
+	if err := c.Validate(); err != nil {
+		return fmt.Errorf("remap: refusing to render invalid circuit: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "// remap function %s: %d -> %d bits, %d layers\n",
+		c.Name, c.InBits, c.OutBits, len(c.Layers))
+	fmt.Fprintf(bw, "module %s(input [%d:0] in, output [%d:0] out);\n",
+		strings.ToLower(c.Name), c.InBits-1, c.OutBits-1)
+
+	width := c.InBits
+	fmt.Fprintf(bw, "  wire [%d:0] s0 = in;\n", width-1)
+	for li, l := range c.Layers {
+		cur, next := li, li+1
+		switch l.Kind {
+		case LayerSub:
+			fmt.Fprintf(bw, "  wire [%d:0] s%d; // substitution layer\n", width-1, next)
+			bit := 0
+			for bi, box := range l.Boxes {
+				fmt.Fprintf(bw, "  sbox_%s u%d_%d(.in(s%d[%d:%d]), .out(s%d[%d:%d]));\n",
+					strings.ToLower(box.Name), next, bi,
+					cur, bit+box.Width-1, bit, next, bit+box.Width-1, bit)
+				bit += box.Width
+			}
+			// Pass any unboxed tail bits through.
+			for ; bit < width; bit++ {
+				fmt.Fprintf(bw, "  assign s%d[%d] = s%d[%d];\n", next, bit, cur, bit)
+			}
+		case LayerPerm:
+			fmt.Fprintf(bw, "  wire [%d:0] s%d; // permutation layer\n", width-1, next)
+			for dst, src := range l.Perm {
+				fmt.Fprintf(bw, "  assign s%d[%d] = s%d[%d];\n", next, dst, cur, src)
+			}
+		case LayerCompress:
+			width = len(l.Groups)
+			fmt.Fprintf(bw, "  wire [%d:0] s%d; // compression layer\n", width-1, next)
+			for dst, group := range l.Groups {
+				terms := make([]string, len(group))
+				for j, src := range group {
+					terms[j] = fmt.Sprintf("s%d[%d]", cur, src)
+				}
+				fmt.Fprintf(bw, "  assign s%d[%d] = %s;\n", next, dst, strings.Join(terms, " ^ "))
+			}
+		}
+	}
+	fmt.Fprintf(bw, "  assign out = s%d[%d:0];\n", len(c.Layers), c.OutBits-1)
+	fmt.Fprintln(bw, "endmodule")
+
+	// Emit one LUT module per distinct S-box used.
+	seen := map[string]SBox{}
+	for _, l := range c.Layers {
+		for _, box := range l.Boxes {
+			seen[box.Name] = box
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	// Deterministic order.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, n := range names {
+		box := seen[n]
+		fmt.Fprintf(bw, "\nmodule sbox_%s(input [%d:0] in, output reg [%d:0] out);\n",
+			strings.ToLower(box.Name), box.Width-1, box.Width-1)
+		fmt.Fprintln(bw, "  always @(*) case (in)")
+		for v, sub := range box.Table {
+			fmt.Fprintf(bw, "    %d'h%X: out = %d'h%X;\n", box.Width, v, box.Width, sub)
+		}
+		fmt.Fprintln(bw, "  endcase")
+		fmt.Fprintln(bw, "endmodule")
+	}
+	return bw.Flush()
+}

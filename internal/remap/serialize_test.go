@@ -1,0 +1,123 @@
+package remap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"stbpu/internal/rng"
+)
+
+// genTestCircuit produces a valid generated circuit for serialization
+// tests.
+func genTestCircuit(t *testing.T) *Circuit {
+	t.Helper()
+	cfg := GenConfig{InBits: 40, OutBits: 14, Seed: 99}
+	c, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return c
+}
+
+func TestCircuitMarshalRoundTrip(t *testing.T) {
+	c := genTestCircuit(t)
+	text, err := c.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Circuit
+	if err := back.UnmarshalText(text); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, text)
+	}
+	if back.Name != c.Name || back.InBits != c.InBits || back.OutBits != c.OutBits {
+		t.Fatalf("header mismatch: %+v vs %+v", back, c)
+	}
+	if len(back.Layers) != len(c.Layers) {
+		t.Fatalf("layer count: %d vs %d", len(back.Layers), len(c.Layers))
+	}
+	// Functional equivalence over a sample: same outputs for same inputs.
+	r := rng.New(5)
+	for i := 0; i < 500; i++ {
+		in := randomInput(r, c.InBits)
+		a := c.Eval(in)
+		b := back.Eval(in)
+		if a != b {
+			t.Fatalf("round-tripped circuit diverges on input %d", i)
+		}
+	}
+}
+
+func TestCircuitMarshalRejectsInvalid(t *testing.T) {
+	bad := &Circuit{Name: "X", InBits: 8, OutBits: 16} // widens: invalid
+	if _, err := bad.MarshalText(); err == nil {
+		t.Error("marshal accepted an invalid circuit")
+	}
+}
+
+func TestCircuitUnmarshalErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not a circuit\nend\n",
+		"circuit X in=8 out=4\n", // missing end
+		"circuit X in=8 out=4\nbogus\nend\n",
+		"circuit X in=8 out=4\nsub 4:NOSUCHBOX\nend\n",
+		"circuit X in=8 out=4\nperm 0 1 2 zz\nend\n",
+		"circuit X in=8 out=4\ncompress 0,qq\nend\n",
+		// Structurally parseable but invalid circuit (perm not a
+		// permutation of the width).
+		"circuit X in=8 out=4\nperm 0 0 0 0 0 0 0 0\nend\n",
+	}
+	for i, text := range cases {
+		var c Circuit
+		if err := c.UnmarshalText([]byte(text)); err == nil {
+			t.Errorf("case %d: unmarshal accepted %q", i, text)
+		}
+	}
+}
+
+func TestNetlistRendersAllLayers(t *testing.T) {
+	c := genTestCircuit(t)
+	var buf bytes.Buffer
+	if err := c.WriteNetlist(&buf); err != nil {
+		t.Fatal(err)
+	}
+	nl := buf.String()
+	if !strings.Contains(nl, "module "+strings.ToLower(c.Name)) {
+		t.Error("netlist missing top module")
+	}
+	for _, l := range c.Layers {
+		switch l.Kind {
+		case LayerSub:
+			if !strings.Contains(nl, "substitution layer") {
+				t.Error("netlist missing substitution layer")
+			}
+		case LayerPerm:
+			if !strings.Contains(nl, "permutation layer") {
+				t.Error("netlist missing permutation layer")
+			}
+		case LayerCompress:
+			if !strings.Contains(nl, "compression layer") {
+				t.Error("netlist missing compression layer")
+			}
+		}
+	}
+	// Every S-box used must have its LUT module emitted.
+	for _, l := range c.Layers {
+		for _, box := range l.Boxes {
+			if !strings.Contains(nl, "module sbox_"+strings.ToLower(box.Name)) {
+				t.Errorf("netlist missing sbox module %s", box.Name)
+			}
+		}
+	}
+	if strings.Count(nl, "endmodule") < 2 {
+		t.Error("expected top module plus at least one sbox module")
+	}
+}
+
+func TestNetlistRejectsInvalid(t *testing.T) {
+	bad := &Circuit{Name: "X", InBits: 8, OutBits: 16}
+	if err := bad.WriteNetlist(&bytes.Buffer{}); err == nil {
+		t.Error("netlist accepted an invalid circuit")
+	}
+}

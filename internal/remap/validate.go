@@ -1,0 +1,119 @@
+package remap
+
+import (
+	"math"
+
+	"stbpu/internal/rng"
+	"stbpu/internal/stats"
+)
+
+// QualityReport captures the C2/C3 metrics of a remapping function
+// candidate (§V-A "Validation of Uniformity (C2) and Avalanche Effect
+// (C3)"). Optimal values: BinCV 0, AvalancheMean 0.5, AvalancheCV 0,
+// PerBitSpread 0.
+type QualityReport struct {
+	// BinCV is the *excess* of the observed balls-and-bins coefficient of
+	// variation over the ideal Poisson CV sqrt(bins/samples) (C2). A
+	// perfect hash scores ~0: indistinguishable from uniform random
+	// throws. Values are clamped at 0 from below.
+	BinCV float64
+	// AvalancheMean is the mean relative Hamming distance of outputs under
+	// single-bit input flips. Ideal is 0.5 (strict avalanche criterion).
+	AvalancheMean float64
+	// AvalancheCV is the CV of per-input average distances; 0 means every
+	// input avalanches equally.
+	AvalancheCV float64
+	// PerBitSpread is max-min of the per-input-bit average distances; 0
+	// means no input bit is weaker than another.
+	PerBitSpread float64
+	// Samples is the number of random inputs tested.
+	Samples int
+}
+
+// Score reduces the report to the weighted optimization objective of §V-B:
+// every metric normalized so that 0 is optimal, summed with unit weights.
+func (q QualityReport) Score() float64 {
+	return math.Abs(q.AvalancheMean-0.5)*2 + q.AvalancheCV + q.PerBitSpread + q.BinCV
+}
+
+// Passes applies the acceptance thresholds used when selecting the shipped
+// functions: near-uniform bins, avalanche mean within tol of 50%, and no
+// input bit with a grossly weaker avalanche.
+func (q QualityReport) Passes(tol float64) bool {
+	return q.BinCV <= tol &&
+		math.Abs(q.AvalancheMean-0.5) <= tol/2 &&
+		q.AvalancheCV <= tol &&
+		q.PerBitSpread <= 4*tol
+}
+
+// Evaluate measures C2 and C3 for an arbitrary bit-vector function over
+// `samples` random inputs. Uniformity is assessed over the low
+// min(outBits, 14) output bits so the bin population stays meaningful at
+// feasible sample counts; avalanche uses the full output width.
+func Evaluate(f func(Bits) Bits, inBits, outBits, samples int, r *rng.Rand) QualityReport {
+	if samples <= 0 {
+		samples = 1024
+	}
+	binBits := outBits
+	if binBits > 14 {
+		binBits = 14
+	}
+	binN := 1 << uint(binBits)
+	// Ensure several balls per bin on average.
+	uniformSamples := samples
+	if uniformSamples < binN*8 {
+		uniformSamples = binN * 8
+	}
+
+	outputs := make([]uint64, uniformSamples)
+	for i := range outputs {
+		in := randomInput(r, inBits)
+		outputs[i] = uint64(f(in).Field(0, binBits))
+	}
+	// A truly uniform hash still shows Poisson occupancy noise with
+	// CV = sqrt(bins/samples); report only the excess above that floor.
+	idealCV := math.Sqrt(float64(binN) / float64(uniformSamples))
+	binCV := stats.BinCV(outputs, binN)/idealCV - 1
+	if binCV < 0 {
+		binCV = 0
+	}
+
+	// Avalanche: flip every input bit of each sample.
+	perInputMeans := make([]float64, 0, samples)
+	perBitSums := make([]float64, inBits)
+	for s := 0; s < samples; s++ {
+		in := randomInput(r, inBits)
+		base := f(in)
+		sum := 0.0
+		for b := 0; b < inBits; b++ {
+			d := float64(base.Xor(f(in.Flip(b))).OnesCount()) / float64(outBits)
+			sum += d
+			perBitSums[b] += d
+		}
+		perInputMeans = append(perInputMeans, sum/float64(inBits))
+	}
+	minBit, maxBit := math.Inf(1), math.Inf(-1)
+	for _, s := range perBitSums {
+		avg := s / float64(samples)
+		minBit = math.Min(minBit, avg)
+		maxBit = math.Max(maxBit, avg)
+	}
+
+	return QualityReport{
+		BinCV:         binCV,
+		AvalancheMean: stats.Mean(perInputMeans),
+		AvalancheCV:   stats.CV(perInputMeans),
+		PerBitSpread:  maxBit - minBit,
+		Samples:       samples,
+	}
+}
+
+// EvaluateCircuit runs Evaluate over a circuit.
+func EvaluateCircuit(c *Circuit, samples int, r *rng.Rand) QualityReport {
+	return Evaluate(c.Eval, c.InBits, c.OutBits, samples, r)
+}
+
+func randomInput(r *rng.Rand, inBits int) Bits {
+	b := Bits{r.Uint64(), r.Uint64()}
+	return b.Mask(inBits)
+}

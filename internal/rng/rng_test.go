@@ -1,0 +1,219 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownVector(t *testing.T) {
+	// Reference values for SplitMix64 seeded with 0 (from the reference
+	// C implementation by Sebastiano Vigna).
+	state := uint64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+		0xf88bb8a8724c81ec,
+	}
+	for i, w := range want {
+		if got := SplitMix64(&state); got != w {
+			t.Fatalf("SplitMix64 output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at %d: %#x vs %#x", i, av, bv)
+		}
+	}
+}
+
+func TestNewFromStringStable(t *testing.T) {
+	a := NewFromString("500.perlbench")
+	b := NewFromString("500.perlbench")
+	c := NewFromString("502.gcc")
+	if a.Uint64() != b.Uint64() {
+		t.Error("same name must give identical streams")
+	}
+	a2 := NewFromString("500.perlbench")
+	if a2.Uint64() == c.Uint64() {
+		t.Error("different names should give different streams")
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(7)
+	for _, n := range []uint64{1, 2, 3, 10, 1 << 20, 1<<63 + 12345} {
+		for i := 0; i < 200; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(99)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(3)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestUint64nUniformityProperty(t *testing.T) {
+	// Property: for arbitrary seed and modulus, all outputs are in range.
+	f := func(seed uint64, modRaw uint64) bool {
+		mod := modRaw%1000 + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			if r.Uint64n(mod) >= mod {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(11)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make([]bool, len(xs))
+	for _, v := range xs {
+		if seen[v] {
+			t.Fatalf("Shuffle produced duplicate: %v", xs)
+		}
+		seen[v] = true
+	}
+}
+
+func TestGeometricBounds(t *testing.T) {
+	r := New(123)
+	for i := 0; i < 1000; i++ {
+		v := r.Geometric(0.5, 16)
+		if v < 1 || v > 16 {
+			t.Fatalf("Geometric out of bounds: %d", v)
+		}
+	}
+	// Degenerate p returns 1.
+	if v := r.Geometric(0, 16); v != 1 {
+		t.Errorf("Geometric(0) = %d, want 1", v)
+	}
+	if v := r.Geometric(1, 16); v != 1 {
+		t.Errorf("Geometric(1) = %d, want 1", v)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	// Mean of Geometric(p) (uncapped) is 1/p; with a generous cap the
+	// sample mean should be close to 2 for p = 0.5.
+	r := New(77)
+	sum := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(0.5, 1000)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-2.0) > 0.05 {
+		t.Errorf("Geometric(0.5) mean = %v, want ~2", mean)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(9)
+	z := NewZipf(r, 100, 1.2)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Errorf("Zipf not skewed: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	if counts[0] == 0 || counts[99] < 0 {
+		t.Error("Zipf produced impossible counts")
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	NewZipf(New(1), 0, 1.0)
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkUint64n(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64n(4096)
+	}
+	_ = sink
+}

@@ -1,0 +1,322 @@
+// Package sim is the trace-driven BPU simulator of §VII-B1: it replays
+// branch traces through protection models and reports OAE (overall
+// effective accuracy), direction/target prediction rates, and the event
+// counts the security analysis consumes.
+//
+// Five models reproduce Fig. 3:
+//
+//	Baseline      — unprotected Skylake-style BPU
+//	µcode-1       — IBPB+IBRS+STIBP: flush on context switches and kernel
+//	                entry, structures halved by STIBP partitioning
+//	µcode-2       — IBPB+IBRS: flush on context switches and kernel entry
+//	Conservative  — full 48-bit addresses end-to-end (halved BTB capacity),
+//	                per-entity PHT separation, no flushing
+//	STBPU         — secret-token remapping + encryption + re-randomization
+package sim
+
+import (
+	"fmt"
+
+	"stbpu/internal/bpu"
+	"stbpu/internal/core"
+	"stbpu/internal/stats"
+	"stbpu/internal/token"
+	"stbpu/internal/trace"
+)
+
+// Model processes trace records and reports prediction events.
+type Model interface {
+	// Name identifies the model in reports.
+	Name() string
+	// Step predicts and resolves one retired branch.
+	Step(rec trace.Record) (bpu.Prediction, bpu.Events)
+}
+
+// Result aggregates one simulation run.
+type Result struct {
+	Model    string
+	Workload string
+
+	Records     int
+	Mispredicts uint64
+
+	Conds      uint64
+	DirCorrect uint64
+
+	TargetKnown   uint64
+	TargetCorrect uint64
+
+	Evictions uint64
+	BTBMisses uint64
+
+	CtxSwitches  uint64
+	ModeSwitches uint64
+
+	// Rerandomizations is nonzero only for STBPU models.
+	Rerandomizations uint64
+	// Flushes is nonzero only for flushing models.
+	Flushes uint64
+}
+
+// OAE is the overall effective accuracy (§VII-B1): a branch counts as
+// correct only if every necessary prediction (direction and target) was
+// correct.
+func (r Result) OAE() float64 {
+	return 1 - stats.Ratio(r.Mispredicts, uint64(r.Records))
+}
+
+// DirectionRate is the fraction of conditional branches whose direction
+// was predicted correctly.
+func (r Result) DirectionRate() float64 { return stats.Ratio(r.DirCorrect, r.Conds) }
+
+// TargetRate is the fraction of taken branches whose target was predicted
+// correctly.
+func (r Result) TargetRate() float64 { return stats.Ratio(r.TargetCorrect, r.TargetKnown) }
+
+// Run replays a trace through a model.
+func Run(m Model, tr *trace.Trace) Result {
+	res := Result{Model: m.Name(), Workload: tr.Name, Records: len(tr.Records)}
+	var prevPID uint32
+	var prevKernel, first bool
+	first = true
+	for _, rec := range tr.Records {
+		if !first {
+			if rec.PID != prevPID {
+				res.CtxSwitches++
+			}
+			if rec.Kernel != prevKernel {
+				res.ModeSwitches++
+			}
+		}
+		prevPID, prevKernel, first = rec.PID, rec.Kernel, false
+
+		_, ev := m.Step(rec)
+		if ev.Mispredict {
+			res.Mispredicts++
+		}
+		if ev.IsCond {
+			res.Conds++
+			if ev.DirCorrect {
+				res.DirCorrect++
+			}
+		}
+		if ev.TargetKnown {
+			res.TargetKnown++
+			if ev.TargetCorrect {
+				res.TargetCorrect++
+			}
+		}
+		if ev.BTBEviction {
+			res.Evictions++
+		}
+		if ev.BTBMiss {
+			res.BTBMisses++
+		}
+	}
+	if st, ok := m.(*STBPUModel); ok {
+		res.Rerandomizations = st.Inner.Rerandomizations()
+	}
+	if fm, ok := m.(*FlushModel); ok {
+		res.Flushes = fm.flushes
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Model implementations.
+
+// ModelKind enumerates the Fig. 3 protection models.
+type ModelKind int
+
+const (
+	// KindBaseline is the unprotected BPU.
+	KindBaseline ModelKind = iota
+	// KindUcode1 models IBPB+IBRS+STIBP microcode protection.
+	KindUcode1
+	// KindUcode2 models IBPB+IBRS microcode protection.
+	KindUcode2
+	// KindConservative models the full-address, reduced-capacity design.
+	KindConservative
+	// KindSTBPU is the paper's design.
+	KindSTBPU
+)
+
+// String names the model as in Fig. 3.
+func (k ModelKind) String() string {
+	switch k {
+	case KindBaseline:
+		return "baseline"
+	case KindUcode1:
+		return "ucode-protection-1"
+	case KindUcode2:
+		return "ucode-protection-2"
+	case KindConservative:
+		return "conservative"
+	case KindSTBPU:
+		return "STBPU"
+	default:
+		return fmt.Sprintf("ModelKind(%d)", int(k))
+	}
+}
+
+// Fig3Kinds returns the five models in the paper's comparison order.
+func Fig3Kinds() []ModelKind {
+	return []ModelKind{KindBaseline, KindUcode1, KindUcode2, KindConservative, KindSTBPU}
+}
+
+// Options carries per-run knobs shared by the factory.
+type Options struct {
+	// SharedTokens enables STBPU selective token sharing (from the
+	// workload profile).
+	SharedTokens bool
+	// Thresholds overrides the STBPU re-randomization budgets.
+	Thresholds *token.Thresholds
+	// Dir selects the direction predictor for baseline/STBPU models
+	// (default SKLCond, matching the Fig. 3 trace simulator).
+	Dir core.DirKind
+	// Seed fixes stochastic state (token stream).
+	Seed uint64
+}
+
+// New constructs a protection model.
+func New(kind ModelKind, opt Options) Model {
+	switch kind {
+	case KindBaseline:
+		return &UnitModel{ModelName: kind.String(), Unit: core.NewUnprotectedUnit(opt.Dir)}
+	case KindUcode1:
+		// STIBP partitions the BPU between hardware threads: halved BTB
+		// and PHT capacity for each; flush on context and mode switches.
+		u := bpu.NewUnit(bpu.UnitConfig{
+			Direction: nil, // SKLCond over legacy mapper
+			BTB:       bpu.BTBConfig{Sets: bpu.BTBSets / 2, Ways: bpu.BTBWays},
+		})
+		return &FlushModel{
+			UnitModel:     UnitModel{ModelName: kind.String(), Unit: u},
+			OnCtxSwitch:   true,
+			OnKernelEntry: true,
+		}
+	case KindUcode2:
+		return &FlushModel{
+			UnitModel:     UnitModel{ModelName: kind.String(), Unit: core.NewUnprotectedUnit(opt.Dir)},
+			OnCtxSwitch:   true,
+			OnKernelEntry: true,
+		}
+	case KindConservative:
+		m := &entityMapper{}
+		u := bpu.NewUnit(bpu.UnitConfig{
+			Mapper: m,
+			BTB:    bpu.ConservativeBTBConfig(),
+		})
+		return &UnitModel{ModelName: kind.String(), Unit: u, entity: m}
+	case KindSTBPU:
+		return &STBPUModel{Inner: core.NewModel(core.ModelConfig{
+			Dir:          opt.Dir,
+			SharedTokens: opt.SharedTokens,
+			Thresholds:   opt.Thresholds,
+			Seed:         opt.Seed,
+		})}
+	default:
+		panic(fmt.Sprintf("sim: unknown model kind %d", kind))
+	}
+}
+
+// UnitModel adapts a bare bpu.Unit to the Model interface.
+type UnitModel struct {
+	ModelName string
+	Unit      *bpu.Unit
+	entity    *entityMapper // conservative model only
+}
+
+// Name implements Model.
+func (m *UnitModel) Name() string { return m.ModelName }
+
+// Step implements Model.
+func (m *UnitModel) Step(rec trace.Record) (bpu.Prediction, bpu.Events) {
+	if m.entity != nil {
+		m.entity.setEntity(rec)
+	}
+	pred := m.Unit.Predict(rec.PC, rec.Kind)
+	return pred, m.Unit.Update(rec, pred)
+}
+
+// FlushModel wraps a UnitModel with microcode-style flushing.
+type FlushModel struct {
+	UnitModel
+	OnCtxSwitch   bool
+	OnKernelEntry bool
+
+	flushes    uint64
+	prevPID    uint32
+	prevKernel bool
+	started    bool
+}
+
+// Step implements Model.
+func (m *FlushModel) Step(rec trace.Record) (bpu.Prediction, bpu.Events) {
+	if m.started {
+		if m.OnCtxSwitch && rec.PID != m.prevPID {
+			m.Unit.Flush()
+			m.flushes++
+		}
+		if m.OnKernelEntry && rec.Kernel && !m.prevKernel {
+			m.Unit.Flush()
+			m.flushes++
+		}
+	}
+	m.prevPID, m.prevKernel, m.started = rec.PID, rec.Kernel, true
+	return m.UnitModel.Step(rec)
+}
+
+// STBPUModel adapts core.Model to the Model interface.
+type STBPUModel struct {
+	Inner *core.Model
+}
+
+// Name implements Model.
+func (m *STBPUModel) Name() string { return m.Inner.Name() }
+
+// Step implements Model.
+func (m *STBPUModel) Step(rec trace.Record) (bpu.Prediction, bpu.Events) {
+	return m.Inner.Step(rec)
+}
+
+// entityMapper is the conservative model's addressing: legacy folds salted
+// with the software entity, so distinct entities never collide in the PHT
+// (the BTB side is handled by full 48-bit tags). This is the "more
+// structural BPU changes" alternative of §VII-B1.
+type entityMapper struct {
+	bpu.LegacyMapper
+	salt uint64
+}
+
+func (m *entityMapper) setEntity(rec trace.Record) {
+	if rec.Kernel {
+		m.salt = 0xffff_0000_0000
+		return
+	}
+	m.salt = uint64(rec.PID) << 20
+}
+
+// conservativePHTMask halves the effective PHT: storing enough address
+// bits to rule out cross-branch collisions costs the same hardware budget
+// the BTB pays, so half the counters go to tags.
+const conservativePHTMask = bpu.PHTSize/2 - 1
+
+// PHT1 overrides the legacy index with entity salting and halved capacity.
+func (m *entityMapper) PHT1(pc uint64) uint32 {
+	return m.LegacyMapper.PHT1(pc^m.salt) & conservativePHTMask
+}
+
+// PHT2 overrides the legacy index with entity salting and halved capacity.
+func (m *entityMapper) PHT2(pc uint64, ghr uint64) uint32 {
+	return m.LegacyMapper.PHT2(pc^m.salt, ghr) & conservativePHTMask
+}
+
+// BTBIndex salts the set/tag/offset computation with the entity, so two
+// entities at the same virtual address (same binary mapped in two
+// processes) index different entries — the ASID-style isolation a
+// deliberately conservative design would enforce. The full 48-bit tag then
+// removes the remaining compressed-tag false hits.
+func (m *entityMapper) BTBIndex(pc uint64) (set, tag, offs uint32) {
+	return m.LegacyMapper.BTBIndex(pc ^ m.salt ^ m.salt<<13)
+}

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"testing"
+
+	"stbpu/internal/core"
+	"stbpu/internal/token"
+	"stbpu/internal/trace"
+)
+
+func genTrace(t testing.TB, name string, n int) (*trace.Trace, trace.Profile) {
+	t.Helper()
+	p, err := trace.Preset(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Generate(p.WithRecords(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, p
+}
+
+func runKind(t testing.TB, kind ModelKind, name string, n int) Result {
+	tr, p := genTrace(t, name, n)
+	m := New(kind, Options{SharedTokens: p.SharedTokens, Seed: 1})
+	return Run(m, tr)
+}
+
+func TestModelKindStrings(t *testing.T) {
+	for _, k := range Fig3Kinds() {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+	if len(Fig3Kinds()) != 5 {
+		t.Errorf("Fig3Kinds has %d models, want 5", len(Fig3Kinds()))
+	}
+}
+
+func TestBaselineAccuracySane(t *testing.T) {
+	res := runKind(t, KindBaseline, "519.lbm", 60_000)
+	if oae := res.OAE(); oae < 0.85 || oae > 1 {
+		t.Errorf("baseline OAE on lbm = %.3f", oae)
+	}
+	if res.Conds == 0 || res.TargetKnown == 0 {
+		t.Error("event accounting empty")
+	}
+	if res.DirectionRate() < 0.85 || res.TargetRate() < 0.85 {
+		t.Errorf("component rates too low: dir %.3f target %.3f",
+			res.DirectionRate(), res.TargetRate())
+	}
+}
+
+func TestSTBPUNearBaseline(t *testing.T) {
+	// Fig. 3 core claim: STBPU within ~2pp of baseline per workload.
+	for _, wl := range []string{"519.lbm", "505.mcf", "apache2_prefork_c128"} {
+		base := runKind(t, KindBaseline, wl, 60_000)
+		st := runKind(t, KindSTBPU, wl, 60_000)
+		if st.OAE() < base.OAE()-0.03 {
+			t.Errorf("%s: STBPU OAE %.3f vs baseline %.3f", wl, st.OAE(), base.OAE())
+		}
+	}
+}
+
+func TestFlushingHurtsServerWorkloads(t *testing.T) {
+	// Fig. 3 shape: the microcode models lose heavily on context-switch
+	// rich workloads, far more than STBPU does.
+	base := runKind(t, KindBaseline, "mysql_128con_50s", 80_000)
+	u2 := runKind(t, KindUcode2, "mysql_128con_50s", 80_000)
+	st := runKind(t, KindSTBPU, "mysql_128con_50s", 80_000)
+	if u2.OAE() > base.OAE()-0.02 {
+		t.Errorf("ucode2 should lose clearly on mysql: %.3f vs base %.3f", u2.OAE(), base.OAE())
+	}
+	if st.OAE() < u2.OAE() {
+		t.Errorf("STBPU (%.3f) should beat ucode2 (%.3f) on mysql", st.OAE(), u2.OAE())
+	}
+	if u2.Flushes == 0 {
+		t.Error("flushing model recorded no flushes on a server trace")
+	}
+}
+
+func TestUcode1WorseThanUcode2(t *testing.T) {
+	// STIBP partitioning costs extra capacity on top of flushing.
+	u1 := runKind(t, KindUcode1, "apache2_prefork_c256", 80_000)
+	u2 := runKind(t, KindUcode2, "apache2_prefork_c256", 80_000)
+	if u1.OAE() > u2.OAE()+0.01 {
+		t.Errorf("ucode1 (%.3f) should not beat ucode2 (%.3f)", u1.OAE(), u2.OAE())
+	}
+}
+
+func TestConservativeBetween(t *testing.T) {
+	// Conservative avoids flushing but pays capacity and sharing: it
+	// should sit between the microcode models and STBPU on server loads.
+	cons := runKind(t, KindConservative, "apache2_prefork_c128", 80_000)
+	u2 := runKind(t, KindUcode2, "apache2_prefork_c128", 80_000)
+	st := runKind(t, KindSTBPU, "apache2_prefork_c128", 80_000)
+	if cons.OAE() < u2.OAE()-0.01 {
+		t.Errorf("conservative (%.3f) should beat flushing ucode2 (%.3f)", cons.OAE(), u2.OAE())
+	}
+	if cons.OAE() > st.OAE()+0.01 {
+		t.Errorf("conservative (%.3f) should not beat STBPU (%.3f)", cons.OAE(), st.OAE())
+	}
+}
+
+func TestConservativeIsolatesEntities(t *testing.T) {
+	m := New(KindConservative, Options{})
+	rec := trace.Record{PC: 0x401000, Target: 0x401800, Kind: trace.KindDirectJump, Taken: true, PID: 1}
+	m.Step(rec)
+	m.Step(rec) // warm for PID 1
+	rec2 := rec
+	rec2.PID = 2
+	pred, _ := m.Step(rec2)
+	if pred.TargetValid && pred.Target == rec.Target {
+		t.Error("conservative model allowed cross-entity BTB reuse")
+	}
+}
+
+func TestSTBPUWithDifferentPredictors(t *testing.T) {
+	tr, p := genTrace(t, "505.mcf", 30_000)
+	for _, dir := range []core.DirKind{core.DirSKLCond, core.DirTAGE8, core.DirTAGE64, core.DirPerceptron} {
+		m := New(KindSTBPU, Options{SharedTokens: p.SharedTokens, Dir: dir})
+		res := Run(m, tr)
+		if res.OAE() < 0.6 {
+			t.Errorf("ST_%v OAE = %.3f", dir, res.OAE())
+		}
+	}
+}
+
+func TestResultCounters(t *testing.T) {
+	res := runKind(t, KindBaseline, "mysql_64con_50s", 40_000)
+	if res.CtxSwitches == 0 || res.ModeSwitches == 0 {
+		t.Errorf("server trace counters: ctx=%d mode=%d", res.CtxSwitches, res.ModeSwitches)
+	}
+	if res.Records != 40_000 {
+		t.Errorf("records = %d", res.Records)
+	}
+}
+
+func TestSTBPURecordsRerandomizations(t *testing.T) {
+	// With aggressive thresholds, re-randomizations must appear in the
+	// result.
+	tr, p := genTrace(t, "505.mcf", 40_000)
+	th := tokenThresholds(100, 100)
+	m := New(KindSTBPU, Options{SharedTokens: p.SharedTokens, Thresholds: &th})
+	res := Run(m, tr)
+	if res.Rerandomizations == 0 {
+		t.Error("aggressive thresholds produced no re-randomizations")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := runKind(t, KindSTBPU, "505.mcf", 20_000)
+	b := runKind(t, KindSTBPU, "505.mcf", 20_000)
+	if a.Mispredicts != b.Mispredicts || a.Evictions != b.Evictions {
+		t.Error("simulation not deterministic")
+	}
+}
+
+func BenchmarkRunBaseline(b *testing.B) {
+	tr, _ := genTrace(b, "505.mcf", 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(New(KindBaseline, Options{}), tr)
+	}
+}
+
+func BenchmarkRunSTBPU(b *testing.B) {
+	tr, p := genTrace(b, "505.mcf", 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(New(KindSTBPU, Options{SharedTokens: p.SharedTokens}), tr)
+	}
+}
+
+// tokenThresholds builds a threshold config for tests.
+func tokenThresholds(misp, evict uint64) (th token.Thresholds) {
+	th.Mispredictions = misp
+	th.Evictions = evict
+	return th
+}

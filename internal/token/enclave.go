@@ -1,0 +1,70 @@
+package token
+
+// EnclaveManager adapts STBPU token management to systems where the OS is
+// *not* trusted (paper §IV-A: "STBPU can be also adapted for systems with
+// OS not trusted (e.g. SGX), then another system component needs to be
+// responsible for managing tokens ... the enclave entering routine can
+// serve this purpose").
+//
+// The enclave-entry microcode owns the enclave's token: it installs a
+// dedicated ST on every enclave entry and — because the untrusted OS must
+// never observe or influence enclave history — re-randomizes it on every
+// exit, so no predictor state survives across enclave sessions. Thresholds
+// still apply inside a session, hardware-enforced rather than OS-set.
+type EnclaveManager struct {
+	inner *Manager
+	// entries/exits count transitions for reporting.
+	Entries, Exits uint64
+	inEnclave      bool
+}
+
+// enclaveKey is the reserved entity key of the enclave world.
+const enclaveKey = ^uint64(0)
+
+// NewEnclaveManager builds an SGX-style manager. The thresholds are burned
+// in by hardware (no OS involvement); the seed models the in-package TRNG.
+func NewEnclaveManager(seed uint64, th Thresholds) *EnclaveManager {
+	return &EnclaveManager{inner: NewManager(seed, th)}
+}
+
+// Enter installs the enclave token (EENTER path) and returns it.
+func (e *EnclaveManager) Enter() ST {
+	e.Entries++
+	e.inEnclave = true
+	return e.inner.TokenFor(enclaveKey)
+}
+
+// Exit leaves the enclave (EEXIT/AEX path): the token is immediately
+// re-randomized so any predictor state the enclave created is unreachable
+// to the untrusted world — and to the next enclave session.
+func (e *EnclaveManager) Exit() {
+	if !e.inEnclave {
+		return
+	}
+	e.Exits++
+	e.inEnclave = false
+	e.inner.Rerandomize(enclaveKey)
+}
+
+// InEnclave reports whether an enclave session is active.
+func (e *EnclaveManager) InEnclave() bool { return e.inEnclave }
+
+// OnMisprediction forwards a monitored event while inside the enclave.
+// Outside, enclave counters are frozen (events belong to the OS world).
+func (e *EnclaveManager) OnMisprediction() (ST, bool) {
+	if !e.inEnclave {
+		return ST{}, false
+	}
+	return e.inner.OnMisprediction(enclaveKey)
+}
+
+// OnEviction forwards a monitored eviction while inside the enclave.
+func (e *EnclaveManager) OnEviction() (ST, bool) {
+	if !e.inEnclave {
+		return ST{}, false
+	}
+	return e.inner.OnEviction(enclaveKey)
+}
+
+// Stats exposes the underlying manager counters.
+func (e *EnclaveManager) Stats() Stats { return e.inner.Stats() }

@@ -1,0 +1,215 @@
+// Package token implements STBPU secret-token (ST) management (§IV):
+// per-entity 64-bit tokens split into ψ (remap key) and φ (target
+// encryption key), the MSR-style threshold counters that monitor
+// mispredictions and BTB evictions, and automatic re-randomization when a
+// counter reaches zero.
+//
+// The OS-visible model: each hardware thread has an ST register loaded on
+// context/mode switches; the OS assigns tokens per software entity and may
+// deliberately share one token among processes of the same program
+// (selective history sharing for pre-forked servers, §IV-A). Counters are
+// part of the saved context, so each entity depletes its own budget.
+package token
+
+import (
+	"fmt"
+
+	"stbpu/internal/rng"
+)
+
+// ST is a secret token: the ψ half keys the remapping functions R1..Rp,
+// the φ half XOR-encrypts targets stored in BTB and RSB.
+type ST struct {
+	Psi uint32
+	Phi uint32
+}
+
+// Attack complexity constants from the paper's security analysis
+// (§VI-A.5): the cheapest known attacks require ~8.38e5 mispredictions
+// (PHT reuse side channel / BranchScope) or ~5.3e5 BTB evictions
+// (eviction-based side channel). Thresholds derive as Γ = r·C.
+const (
+	// MispredictComplexity is C for misprediction-counted attacks.
+	MispredictComplexity = 838_000
+	// EvictionComplexity is C for eviction-counted attacks.
+	EvictionComplexity = 530_000
+)
+
+// DefaultR is the paper's chosen attack-difficulty factor (§VII-A): strong
+// security margin at negligible accuracy cost.
+const DefaultR = 0.05
+
+// Thresholds are the re-randomization budgets (event counts between
+// re-randomizations). Zero values disable the corresponding monitor.
+type Thresholds struct {
+	// Mispredictions triggers on effective mispredictions (wrong
+	// direction or wrong target of any branch).
+	Mispredictions uint64
+	// Evictions triggers on BTB evictions.
+	Evictions uint64
+	// TageMispredictions is the separate register TAGE-based ST models
+	// carry for tagged-bank mispredictions (§VII-B2). Zero routes TAGE
+	// mispredictions to the main misprediction register instead.
+	TageMispredictions uint64
+}
+
+// Derive computes Γ = r·C thresholds for a difficulty factor r, e.g.
+// r=0.05 → 41,900 mispredictions and 26,500 evictions (§VII-A).
+func Derive(r float64) Thresholds {
+	if r <= 0 {
+		return Thresholds{}
+	}
+	t := Thresholds{
+		Mispredictions: uint64(r * MispredictComplexity),
+		Evictions:      uint64(r * EvictionComplexity),
+	}
+	t.TageMispredictions = t.Mispredictions
+	return t
+}
+
+// String renders thresholds for reports.
+func (t Thresholds) String() string {
+	return fmt.Sprintf("misp=%d evict=%d tage=%d", t.Mispredictions, t.Evictions, t.TageMispredictions)
+}
+
+// counters mirror the per-entity MSR state: initialized to the threshold,
+// decremented per event, re-randomizing at zero.
+type counters struct {
+	misp  uint64
+	evict uint64
+	tage  uint64
+}
+
+// entity is the per-software-entity state the OS context-switches.
+type entity struct {
+	st  ST
+	ctr counters
+}
+
+// Stats aggregates manager activity for experiment reports.
+type Stats struct {
+	// Rerandomizations counts ST replacements, by trigger.
+	RerandMisp  uint64
+	RerandEvict uint64
+	RerandTage  uint64
+	// TokensIssued counts distinct entities seen.
+	TokensIssued uint64
+}
+
+// Total returns all re-randomizations.
+func (s Stats) Total() uint64 { return s.RerandMisp + s.RerandEvict + s.RerandTage }
+
+// Manager owns token assignment and threshold monitoring. It is the
+// software-visible contract of STBPU's new registers: the simulator calls
+// TokenFor on context switches and the On* hooks on prediction events.
+// Not safe for concurrent use; each simulated core owns one Manager.
+type Manager struct {
+	r          *rng.Rand
+	thresholds Thresholds
+	entities   map[uint64]*entity
+	stats      Stats
+}
+
+// NewManager builds a manager with the given thresholds. The seed fixes
+// the token stream for reproducibility (hardware would use an in-chip
+// TRNG; see DESIGN.md substitutions).
+func NewManager(seed uint64, th Thresholds) *Manager {
+	return &Manager{
+		r:          rng.New(seed),
+		thresholds: th,
+		entities:   make(map[uint64]*entity),
+	}
+}
+
+// Thresholds returns the active configuration.
+func (m *Manager) Thresholds() Thresholds { return m.thresholds }
+
+// Stats returns aggregate counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+func (m *Manager) freshST() ST {
+	v := m.r.Uint64()
+	return ST{Psi: uint32(v), Phi: uint32(v >> 32)}
+}
+
+func (m *Manager) get(key uint64) *entity {
+	e, ok := m.entities[key]
+	if !ok {
+		e = &entity{st: m.freshST()}
+		e.ctr = counters{
+			misp:  m.thresholds.Mispredictions,
+			evict: m.thresholds.Evictions,
+			tage:  m.thresholds.TageMispredictions,
+		}
+		m.entities[key] = e
+		m.stats.TokensIssued++
+	}
+	return e
+}
+
+// TokenFor returns the current ST of an entity, creating one on first use.
+func (m *Manager) TokenFor(key uint64) ST { return m.get(key).st }
+
+// ShareToken makes `key` use the same token as `canonical` by aliasing the
+// entity record: the OS's selective history sharing. Subsequent events on
+// either key deplete the same budget.
+func (m *Manager) ShareToken(key, canonical uint64) {
+	m.entities[key] = m.get(canonical)
+}
+
+// Rerandomize replaces the entity's token immediately and resets its
+// counters (the OS can force this, e.g. for sensitive processes).
+func (m *Manager) Rerandomize(key uint64) ST {
+	e := m.get(key)
+	e.st = m.freshST()
+	e.ctr = counters{
+		misp:  m.thresholds.Mispredictions,
+		evict: m.thresholds.Evictions,
+		tage:  m.thresholds.TageMispredictions,
+	}
+	return e.st
+}
+
+// decrement handles one monitored event; returns the new ST when the
+// counter hit zero and the token was re-randomized.
+func (m *Manager) decrement(key uint64, c *uint64, reason *uint64) (ST, bool) {
+	if *c == 0 {
+		// Monitor disabled (threshold 0).
+		return ST{}, false
+	}
+	*c--
+	if *c > 0 {
+		return ST{}, false
+	}
+	*reason++
+	return m.Rerandomize(key), true
+}
+
+// OnMisprediction records an effective misprediction for the entity.
+func (m *Manager) OnMisprediction(key uint64) (ST, bool) {
+	e := m.get(key)
+	if m.thresholds.Mispredictions == 0 {
+		return ST{}, false
+	}
+	return m.decrement(key, &e.ctr.misp, &m.stats.RerandMisp)
+}
+
+// OnEviction records a BTB eviction for the entity.
+func (m *Manager) OnEviction(key uint64) (ST, bool) {
+	e := m.get(key)
+	if m.thresholds.Evictions == 0 {
+		return ST{}, false
+	}
+	return m.decrement(key, &e.ctr.evict, &m.stats.RerandEvict)
+}
+
+// OnTageMisprediction records a tagged-bank misprediction on the separate
+// TAGE register. If the configuration has no separate register, it falls
+// through to the main misprediction counter.
+func (m *Manager) OnTageMisprediction(key uint64) (ST, bool) {
+	e := m.get(key)
+	if m.thresholds.TageMispredictions == 0 {
+		return m.OnMisprediction(key)
+	}
+	return m.decrement(key, &e.ctr.tage, &m.stats.RerandTage)
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV interchange format, one record per line:
+//
+//	pc,target,kind,taken,pid,program,kernel
+//
+// Addresses are hex without the 0x prefix; kind uses the Kind mnemonics
+// (cond/jmp/call/ijmp/icall/ret); booleans are 0/1. The format exists so
+// traces can be produced or consumed by external tools (e.g. converted
+// from real Intel PT dumps) without the binary STBT codec.
+
+var kindByName = map[string]Kind{
+	"cond": KindCond, "jmp": KindDirectJump, "call": KindDirectCall,
+	"ijmp": KindIndirectJump, "icall": KindIndirectCall, "ret": KindReturn,
+}
+
+// WriteCSV encodes the trace records as CSV (no header row).
+func WriteCSV(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	for i, r := range t.Records {
+		taken, kernel := '0', '0'
+		if r.Taken {
+			taken = '1'
+		}
+		if r.Kernel {
+			kernel = '1'
+		}
+		if _, err := fmt.Fprintf(bw, "%x,%x,%s,%c,%d,%d,%c\n",
+			r.PC, r.Target, r.Kind, taken, r.PID, r.Program, kernel); err != nil {
+			return fmt.Errorf("trace: csv record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV decodes records from CSV produced by WriteCSV (or an external
+// converter). The trace name must be supplied by the caller.
+func ReadCSV(r io.Reader, name string) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 7
+	cr.ReuseRecord = true
+	t := &Trace{Name: name}
+	line := 0
+	for {
+		fields, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: %w", line+1, err)
+		}
+		line++
+		pc, err := strconv.ParseUint(fields[0], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d pc: %w", line, err)
+		}
+		target, err := strconv.ParseUint(fields[1], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d target: %w", line, err)
+		}
+		kind, ok := kindByName[fields[2]]
+		if !ok {
+			return nil, fmt.Errorf("trace: csv line %d: unknown kind %q", line, fields[2])
+		}
+		pid, err := strconv.ParseUint(fields[4], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d pid: %w", line, err)
+		}
+		prog, err := strconv.ParseUint(fields[5], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d program: %w", line, err)
+		}
+		rec := Record{
+			PC:      pc & VAMask,
+			Target:  target & VAMask,
+			Kind:    kind,
+			Taken:   fields[3] == "1",
+			PID:     uint32(pid),
+			Program: uint16(prog),
+			Kernel:  fields[6] == "1",
+		}
+		t.Records = append(t.Records, rec)
+	}
+	return t, nil
+}

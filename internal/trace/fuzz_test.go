@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hammers the STBT decoder with arbitrary bytes: error or valid
+// trace, never a panic.
+func FuzzRead(f *testing.F) {
+	tr := &Trace{Name: "seed"}
+	for i := 0; i < 100; i++ {
+		tr.Records = append(tr.Records, Record{
+			PC: uint64(i) * 16, Target: uint64(i)*16 + 64,
+			Kind: Kind(i % 6), Taken: true, PID: uint32(i % 4),
+		})
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:8])
+	f.Add([]byte("STBT"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err == nil && got == nil {
+			t.Fatal("nil trace with nil error")
+		}
+	})
+}
+
+// FuzzCSVRead does the same for the CSV codec.
+func FuzzCSVRead(f *testing.F) {
+	f.Add([]byte("pc,target,kind,taken,pid,program,kernel\n40,80,cond,1,1,0,0\n"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadCSV(bytes.NewReader(data), "fuzz")
+		if err == nil && got == nil {
+			t.Fatal("nil trace with nil error")
+		}
+	})
+}

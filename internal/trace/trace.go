@@ -1,0 +1,174 @@
+// Package trace models branch-instruction traces: the input to every BPU
+// simulation in this repository.
+//
+// The paper collects traces with Intel Processor Trace on a live machine
+// (SPEC CPU 2017, Apache2, Chrome, MySQL, OBS Studio) including all
+// OS/library code, context switches, mode switches, and interrupts. That
+// hardware and those binaries are not available here, so this package
+// provides the substitution documented in DESIGN.md: a parameterized
+// synthetic branch-trace generator (synth.go) with named presets
+// (presets.go) tuned to reproduce each workload's predictability class and
+// system-call/context-switch behaviour, plus a compact binary codec
+// (codec.go) so traces can be stored and replayed like PT dumps.
+package trace
+
+import "fmt"
+
+// Kind enumerates the branch instruction types distinguished by the BPU
+// (paper §II-A): direct jumps/calls, conditional branches, indirect
+// jumps/calls, and returns.
+type Kind uint8
+
+const (
+	// KindCond is a conditional direct branch (jcc).
+	KindCond Kind = iota
+	// KindDirectJump is an unconditional direct jump (jmp imm).
+	KindDirectJump
+	// KindDirectCall is a direct call (call imm).
+	KindDirectCall
+	// KindIndirectJump is an indirect jump (jmp reg/mem).
+	KindIndirectJump
+	// KindIndirectCall is an indirect call (call reg/mem).
+	KindIndirectCall
+	// KindReturn is a return instruction (ret).
+	KindReturn
+
+	numKinds = 6
+)
+
+// String returns the mnemonic class of the branch kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCond:
+		return "cond"
+	case KindDirectJump:
+		return "jmp"
+	case KindDirectCall:
+		return "call"
+	case KindIndirectJump:
+		return "ijmp"
+	case KindIndirectCall:
+		return "icall"
+	case KindReturn:
+		return "ret"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// IsIndirect reports whether the branch target comes from a register or
+// memory (including returns), i.e. the target must be predicted rather than
+// decoded from the instruction bytes.
+func (k Kind) IsIndirect() bool {
+	return k == KindIndirectJump || k == KindIndirectCall || k == KindReturn
+}
+
+// IsCall reports whether the branch pushes a return address.
+func (k Kind) IsCall() bool { return k == KindDirectCall || k == KindIndirectCall }
+
+// VAMask keeps the canonical 48 bits of a virtual address, the width the
+// paper's remapping functions consume (Table II uses 48-bit source fields).
+const VAMask = (uint64(1) << 48) - 1
+
+// Record is one retired branch instruction: the unit of trace replay.
+type Record struct {
+	// PC is the 48-bit virtual address of the branch instruction.
+	PC uint64
+	// Target is the actual resolved target. For a not-taken conditional
+	// branch it is the fall-through address.
+	Target uint64
+	// PID identifies the software entity (process). STBPU assigns secret
+	// tokens per entity; microcode protections flush on PID change.
+	PID uint32
+	// Program identifies the binary the entity executes. Entities of the
+	// same program may be given a shared token by the OS (paper §IV-A,
+	// selective history sharing for pre-forked servers).
+	Program uint16
+	// Kind is the branch class.
+	Kind Kind
+	// Taken is the resolved direction; always true for unconditional
+	// branches.
+	Taken bool
+	// Kernel is true while executing in supervisor mode (syscalls,
+	// interrupts). Mode switches trigger flushes under IBRS-style
+	// protections.
+	Kernel bool
+}
+
+// FallThrough returns the address of the instruction after the branch,
+// assuming the fixed 4-byte branch encoding the generator emits. Predictor
+// models use it for not-taken conditional targets and return addresses.
+func (r Record) FallThrough() uint64 { return (r.PC + 4) & VAMask }
+
+// Trace is a materialized branch trace plus identifying metadata.
+type Trace struct {
+	// Name is the workload name (preset name for synthetic traces).
+	Name string
+	// Records are the retired branches in program order.
+	Records []Record
+}
+
+// Stats summarizes the composition of a trace; used by tests and the trace
+// inspection CLI to validate workload shape.
+type Stats struct {
+	Total           int
+	ByKind          [numKinds]int
+	TakenConds      int
+	Conds           int
+	KernelRecords   int
+	ContextSwitches int
+	ModeSwitches    int
+	Processes       int
+}
+
+// ComputeStats scans the trace once and tallies composition counters.
+func (t *Trace) ComputeStats() Stats {
+	var s Stats
+	s.Total = len(t.Records)
+	pids := make(map[uint32]struct{})
+	for i, r := range t.Records {
+		s.ByKind[r.Kind]++
+		if r.Kind == KindCond {
+			s.Conds++
+			if r.Taken {
+				s.TakenConds++
+			}
+		}
+		if r.Kernel {
+			s.KernelRecords++
+		}
+		pids[r.PID] = struct{}{}
+		if i > 0 {
+			prev := t.Records[i-1]
+			if prev.PID != r.PID {
+				s.ContextSwitches++
+			}
+			if prev.Kernel != r.Kernel {
+				s.ModeSwitches++
+			}
+		}
+	}
+	s.Processes = len(pids)
+	return s
+}
+
+// Validate checks structural invariants of the trace: addresses are
+// canonical 48-bit, unconditional branches are taken, returns and calls are
+// well-typed. It returns the first violation found.
+func (t *Trace) Validate() error {
+	for i, r := range t.Records {
+		if r.PC&^VAMask != 0 {
+			return fmt.Errorf("trace %q record %d: PC %#x exceeds 48 bits", t.Name, i, r.PC)
+		}
+		if r.Target&^VAMask != 0 {
+			return fmt.Errorf("trace %q record %d: target %#x exceeds 48 bits", t.Name, i, r.Target)
+		}
+		if r.Kind != KindCond && !r.Taken {
+			return fmt.Errorf("trace %q record %d: unconditional %v marked not-taken", t.Name, i, r.Kind)
+		}
+		if r.Kind >= numKinds {
+			return fmt.Errorf("trace %q record %d: invalid kind %d", t.Name, i, uint8(r.Kind))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package stbpu
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	tr, err := GenerateWorkload("505.mcf", 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protected := NewProtected(Config{Predictor: TAGE8, Seed: 1})
+	baseline := NewUnprotected(TAGE8)
+	p := Simulate(protected, tr)
+	b := Simulate(baseline, tr)
+	if p.OAE() < b.OAE()-0.03 {
+		t.Errorf("protected OAE %.3f vs baseline %.3f", p.OAE(), b.OAE())
+	}
+}
+
+func TestWorkloadsListed(t *testing.T) {
+	names := Workloads()
+	if len(names) < 30 {
+		t.Errorf("only %d workloads", len(names))
+	}
+	for _, n := range names {
+		if _, err := GenerateWorkload(n, 1_000); err != nil {
+			t.Errorf("workload %s: %v", n, err)
+		}
+	}
+}
+
+func TestDeriveThresholdsExposed(t *testing.T) {
+	th := DeriveThresholds(0.05)
+	if th.Mispredictions != 41_900 || th.Evictions != 26_500 {
+		t.Errorf("thresholds %+v", th)
+	}
+}
+
+func TestUnknownWorkloadErrors(t *testing.T) {
+	if _, err := GenerateWorkload("no-such-workload", 100); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestFacadeDefenses(t *testing.T) {
+	for _, d := range []Defense{BRB, BSUP, ZhaoDAC21, ExynosXOR} {
+		m := NewDefense(d, 1)
+		tr, err := GenerateWorkload("505.mcf", 2_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Simulate(m, tr)
+		if res.Records != 2_000 {
+			t.Errorf("%v: records = %d", d, res.Records)
+		}
+		if res.OAE() <= 0.3 {
+			t.Errorf("%v: OAE %.3f unreasonably low", d, res.OAE())
+		}
+	}
+}
+
+func TestFacadeProtections(t *testing.T) {
+	tr, err := GenerateWorkload("541.leela", 3_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Protection{Baseline, Ucode1, Ucode2, Conservative, STBPU} {
+		m := NewProtection(p, Config{Seed: 3})
+		if res := Simulate(m, tr); res.Records != 3_000 {
+			t.Errorf("%v: records = %d", p, res.Records)
+		}
+	}
+}
+
+func TestFacadeITTAGE(t *testing.T) {
+	tr, err := GenerateWorkload("chrome-1jetstream", 5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewProtectedITTAGE(Config{Seed: 3})
+	res := Simulate(m, tr)
+	if res.TargetRate() <= 0.5 {
+		t.Errorf("ITTAGE-backed model target rate %.3f too low", res.TargetRate())
+	}
+}
+
+func TestFacadeTraceFormats(t *testing.T) {
+	tr, err := GenerateWorkload("505.mcf", 4_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stbt, stpt bytes.Buffer
+	if err := WriteTrace(&stbt, tr); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := WriteTracePT(&stpt, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 4_000 {
+		t.Errorf("PT stats records = %d", stats.Records)
+	}
+	a, err := ReadTrace(&stbt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadTracePT(&stpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("format disagreement: %d vs %d records", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs between formats", i)
+		}
+	}
+	// Both formats must drive the simulator to identical results.
+	r1 := Simulate(NewProtected(Config{Seed: 9}), a)
+	r2 := Simulate(NewProtected(Config{Seed: 9}), b)
+	if r1.Mispredicts != r2.Mispredicts || r1.OAE() != r2.OAE() {
+		t.Error("simulation results differ across trace formats")
+	}
+}
+
+func TestSimulateMany(t *testing.T) {
+	tr, err := GenerateWorkload("505.mcf", 5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs []Run
+	for i := 0; i < 8; i++ {
+		seed := uint64(i + 1)
+		runs = append(runs, Run{
+			Name:     "run",
+			NewModel: func() Model { return NewProtected(Config{Seed: seed}) },
+			Trace:    tr,
+		})
+	}
+	results := SimulateMany(runs)
+	if len(results) != 8 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if r.Records != 5_000 {
+			t.Errorf("run %d: records = %d", i, r.Records)
+		}
+		if r.Model != "run" {
+			t.Errorf("run %d: name = %q", i, r.Model)
+		}
+	}
+	// Same seed must reproduce identical results concurrently.
+	same := SimulateMany([]Run{
+		{NewModel: func() Model { return NewProtected(Config{Seed: 42}) }, Trace: tr},
+		{NewModel: func() Model { return NewProtected(Config{Seed: 42}) }, Trace: tr},
+	})
+	if same[0].Mispredicts != same[1].Mispredicts {
+		t.Error("identical seeds diverged under concurrent execution")
+	}
+}
