@@ -1,6 +1,9 @@
 // Command stbpu-bench regenerates every table and figure of the paper's
 // evaluation (§VII) and prints them as text tables; EXPERIMENTS.md records
-// the paper-vs-measured comparison these outputs feed.
+// the paper-vs-measured comparison these outputs feed. Since the harness
+// refactor it is a thin text front-end over the same scenario registry
+// stbpu-suite serves as JSON: each figure flag selects a registered
+// scenario, and all of them run on one seeded worker pool.
 //
 // Usage:
 //
@@ -8,16 +11,19 @@
 //	stbpu-bench -fig3 -records 250000     # full-scale Fig. 3 only
 //	stbpu-bench -fig5 -pairs 8            # first 8 SMT pairs
 //	stbpu-bench -thresholds               # §VI-A.5 numbers
+//	stbpu-bench -all -workers 4 -seed 3   # fixed pool, reproducible
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
-	"stbpu/internal/analysis"
-	"stbpu/internal/experiments"
+	_ "stbpu/internal/experiments" // scenario registrations
+	"stbpu/internal/harness"
 )
 
 func main() {
@@ -37,123 +43,58 @@ func main() {
 		records    = flag.Int("records", 120_000, "records per workload trace")
 		workloads  = flag.Int("workloads", 0, "cap the workload list (0 = all)")
 		pairs      = flag.Int("pairs", 0, "cap the SMT pair list (0 = all)")
+		seed       = flag.Uint64("seed", harness.DefaultRootSeed, "root seed for all scenario cells")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	if !(*fig3 || *fig4 || *fig5 || *fig6 || *thresholds || *table1 || *defensesF || *covert || *gamma || *ittageF || *warmup || *all) {
 		*all = true
 	}
-	scale := experiments.Scale{Records: *records, MaxWorkloads: *workloads, MaxPairs: *pairs}
 
-	run := func(name string, f func() error) {
-		start := time.Now()
-		fmt.Printf("=== %s ===\n", name)
-		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "stbpu-bench: %s: %v\n", name, err)
+	// Presentation order of the original serial driver.
+	var names []string
+	pick := func(on bool, scenario ...string) {
+		if on || *all {
+			names = append(names, scenario...)
+		}
+	}
+	pick(*thresholds, "thresholds")
+	pick(*table1, "tablei")
+	pick(*defensesF, "defense-accuracy", "defense-matrix")
+	pick(*covert, "covert")
+	pick(*gamma, "gamma")
+	pick(*ittageF, "ittage")
+	pick(*warmup, "warmup")
+	pick(*fig3, "fig3")
+	pick(*fig4, "fig4")
+	pick(*fig5, "fig5")
+	pick(*fig6, "fig6")
+
+	pool := harness.NewPool(*workers, *seed)
+	params := harness.Params{Records: *records, MaxWorkloads: *workloads, MaxPairs: *pairs}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	for _, name := range names {
+		s, ok := harness.Get(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "stbpu-bench: scenario %q not registered\n", name)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
-	}
-
-	if *all || *thresholds {
-		run("SectionVI thresholds", func() error {
-			experiments.RunThresholds(0.05).Render(os.Stdout)
-			return nil
-		})
-	}
-	if *all || *table1 {
-		run("TableI attack surface", func() error {
-			experiments.RunTableI(20_000).Render(os.Stdout)
-			return nil
-		})
-	}
-	if *all || *defensesF {
-		run("Defense comparison (§VIII head-to-head)", func() error {
-			acc, err := experiments.RunDefenseAccuracy(scale)
-			if err != nil {
-				return err
-			}
-			acc.Render(os.Stdout)
-			fmt.Println()
-			experiments.RunDefenseMatrix().Render(os.Stdout)
-			return nil
-		})
-	}
-	if *all || *covert {
-		run("PHT covert-channel capacity", func() error {
-			experiments.RunCovertComparison(512).Render(os.Stdout)
-			return nil
-		})
-	}
-	if *all || *gamma {
-		run("Gamma sweep (security side of Fig. 6)", func() error {
-			fmt.Printf("%-10s %14s %14s %14s %16s\n",
-				"r", "misp Γ", "evict Γ", "P(epoch)", "epochs to 50%")
-			for _, row := range analysis.GammaSweep([]float64{0.05, 0.005, 5e-4, 5e-5, 5e-6, 5e-7}) {
-				fmt.Printf("%-10.0e %14.3e %14.3e %14.5f %16.3e\n",
-					row.R, row.MispThreshold, row.EvictThreshold, row.EpochSuccess, row.EpochsFor50)
-			}
-			return nil
-		})
-	}
-	if *all || *ittageF {
-		run("ITTAGE indirect-prediction extension", func() error {
-			res, err := experiments.RunITTAGE(scale)
-			if err != nil {
-				return err
-			}
-			res.Render(os.Stdout)
-			return nil
-		})
-	}
-	if *all || *warmup {
-		run("Warm-state curve", func() error {
-			res, err := experiments.RunWarmup("mysql_128con_50s", []int{10_000, 40_000, 160_000})
-			if err != nil {
-				return err
-			}
-			res.Render(os.Stdout)
-			return nil
-		})
-	}
-	if *all || *fig3 {
-		run("Fig3 overall prediction accuracy", func() error {
-			res, err := experiments.RunFig3(scale)
-			if err != nil {
-				return err
-			}
-			res.Render(os.Stdout)
-			return nil
-		})
-	}
-	if *all || *fig4 {
-		run("Fig4 single-workload CPU evaluation", func() error {
-			res, err := experiments.RunFig4(scale)
-			if err != nil {
-				return err
-			}
-			res.Render(os.Stdout)
-			return nil
-		})
-	}
-	if *all || *fig5 {
-		run("Fig5 SMT evaluation", func() error {
-			res, err := experiments.RunFig5(scale)
-			if err != nil {
-				return err
-			}
-			res.Render(os.Stdout)
-			return nil
-		})
-	}
-	if *all || *fig6 {
-		run("Fig6 aggressive re-randomization", func() error {
-			res, err := experiments.RunFig6(scale, nil)
-			if err != nil {
-				return err
-			}
-			res.Render(os.Stdout)
-			return nil
-		})
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", s.Name)
+		res, err := s.Run(ctx, params.Merged(s.Defaults), pool)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stbpu-bench: %s: %v\n", s.Name, err)
+			os.Exit(1)
+		}
+		if r, ok := res.(harness.Renderer); ok {
+			r.Render(os.Stdout)
+		} else {
+			fmt.Printf("%+v\n", res)
+		}
+		fmt.Printf("(%s in %v)\n\n", s.Name, time.Since(start).Round(time.Millisecond))
 	}
 }

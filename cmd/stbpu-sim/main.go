@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"stbpu/internal/core"
@@ -97,10 +99,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Ctrl-C aborts the replay loop mid-trace instead of killing the
+	// process between prints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	fmt.Printf("%-22s %8s %8s %8s %10s %8s %8s\n",
 		"model", "OAE", "dir", "target", "evictions", "flushes", "rerand")
 	for _, m := range models {
-		res := sim.Run(m, tr)
+		res, err := sim.RunCtx(ctx, m, tr)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("%-22s %8.4f %8.4f %8.4f %10d %8d %8d\n",
 			res.Model, res.OAE(), res.DirectionRate(), res.TargetRate(),
 			res.Evictions, res.Flushes, res.Rerandomizations)

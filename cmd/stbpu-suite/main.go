@@ -1,0 +1,167 @@
+// Command stbpu-suite lists, filters, and runs the registered experiment
+// scenarios on the parallel harness and emits one JSON document per run —
+// root seed, worker count, per-scenario parameters, cell counts, timing,
+// and structured results — suitable for golden-file comparison and
+// benchmarking trajectories.
+//
+// Usage:
+//
+//	stbpu-suite -list                       # registered scenarios
+//	stbpu-suite -run 'fig*' -records 40000  # glob filters, scale knobs
+//	stbpu-suite -run thresholds,gamma       # comma-separated filters
+//	stbpu-suite -quick -seed 1 -workers 4   # QuickScale, fixed seed/pool
+//	stbpu-suite -timing=false               # reproducible output bytes
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+
+	"stbpu/internal/experiments"
+	"stbpu/internal/harness"
+)
+
+// suiteDoc is the one-run JSON document.
+type suiteDoc struct {
+	Suite   string `json:"suite"`
+	Seed    uint64 `json:"seed"`
+	Workers int    `json:"workers"`
+	// ElapsedMS is total wall-clock time (0 when -timing=false).
+	ElapsedMS int64            `json:"elapsed_ms"`
+	Runs      []harness.Report `json:"runs"`
+}
+
+// config carries the parsed CLI knobs; factored out so tests drive the
+// exact code path main uses.
+type config struct {
+	filters []string
+	seed    uint64
+	workers int
+	params  harness.Params
+	timing  bool
+	verbose bool
+	stderr  io.Writer
+}
+
+// runSuite executes the selected scenarios and assembles the document.
+func runSuite(ctx context.Context, cfg config) (suiteDoc, error) {
+	pool := harness.NewPool(cfg.workers, cfg.seed)
+	opts := harness.Options{
+		Filters: cfg.filters,
+		Params:  cfg.params,
+		Timing:  cfg.timing,
+	}
+	if cfg.verbose {
+		opts.Observer = func(c harness.Cell) {
+			fmt.Fprintf(cfg.stderr, "cell %s/%d seed=%#x %v\n", c.Scope, c.Shard, c.Seed, c.Elapsed.Round(0))
+		}
+	}
+	doc := suiteDoc{Suite: "stbpu-suite", Seed: pool.RootSeed(), Workers: pool.Workers()}
+	reports, err := harness.RunAll(ctx, pool, opts)
+	if err != nil {
+		return suiteDoc{}, err
+	}
+	doc.Runs = reports
+	for _, r := range reports {
+		doc.ElapsedMS += r.ElapsedMS
+	}
+	return doc, nil
+}
+
+// writeDoc marshals the document with stable indentation.
+func writeDoc(w io.Writer, doc suiteDoc) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stbpu-suite:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		list      = flag.Bool("list", false, "list registered scenarios and exit")
+		runF      = flag.String("run", "", "comma-separated scenario glob filters (empty = all)")
+		seed      = flag.Uint64("seed", harness.DefaultRootSeed, "root seed; every cell seed derives from it")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		records   = flag.Int("records", 0, "records per workload trace (0 = scenario default)")
+		workloads = flag.Int("workloads", 0, "cap the workload list (0 = all)")
+		pairs     = flag.Int("pairs", 0, "cap the SMT pair list (0 = all)")
+		trials    = flag.Int("trials", 0, "repetitions for randomized measurements (0 = scenario default)")
+		budget    = flag.Int("budget", 0, "attack scan budget (0 = scenario default)")
+		bits      = flag.Int("bits", 0, "covert-channel bits (0 = scenario default)")
+		rF        = flag.Float64("r", 0, "attack-difficulty factor (0 = scenario default)")
+		quick     = flag.Bool("quick", false, "use the QuickScale test/benchmark sizing")
+		timing    = flag.Bool("timing", true, "record wall-clock timing (disable for byte-stable output)")
+		verbose   = flag.Bool("v", false, "stream per-cell progress to stderr")
+		out       = flag.String("o", "", "write the JSON document to this file (default stdout)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range harness.All() {
+			fmt.Printf("%-18s %s\n", s.Name, s.Description)
+		}
+		return nil
+	}
+
+	cfg := config{
+		seed:    *seed,
+		workers: *workers,
+		timing:  *timing,
+		verbose: *verbose,
+		stderr:  os.Stderr,
+		params: harness.Params{
+			Records:      *records,
+			MaxWorkloads: *workloads,
+			MaxPairs:     *pairs,
+			Trials:       *trials,
+			Budget:       *budget,
+			Bits:         *bits,
+			R:            *rF,
+		},
+	}
+	if *quick {
+		cfg.params = cfg.params.Merged(experiments.QuickScale().Params())
+	}
+	if *runF != "" {
+		for _, f := range strings.Split(*runF, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				cfg.filters = append(cfg.filters, f)
+			}
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	doc, err := runSuite(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		return writeDoc(os.Stdout, doc)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := writeDoc(f, doc); err != nil {
+		f.Close()
+		return err
+	}
+	// A failed close means buffered output never hit the disk — that
+	// must fail the run, or golden comparisons would trust a truncated
+	// document.
+	return f.Close()
+}

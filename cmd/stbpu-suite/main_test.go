@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stbpu/internal/harness"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// goldenConfig pins every knob that feeds the output bytes: fixed seed,
+// fixed worker count (recorded in the document), timing suppressed, and a
+// QuickScale-sized subset of scenarios that exercises float, int, bool,
+// and nested-struct JSON. Sizing is trimmed below QuickScale so -race CI
+// stays fast — the golden file guards bytes, not physics.
+func goldenConfig() config {
+	return config{
+		filters: []string{"fig3", "thresholds", "covert"},
+		seed:    1,
+		workers: 2,
+		timing:  false,
+		stderr:  io.Discard,
+		params: harness.Params{
+			Records:      20_000,
+			MaxWorkloads: 4,
+			Bits:         128,
+			Trials:       2,
+		},
+	}
+}
+
+func TestGoldenSuiteOutput(t *testing.T) {
+	doc, err := runSuite(context.Background(), goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeDoc(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "quick.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/stbpu-suite -update` to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("suite output diverged from %s (%d vs %d bytes); rerun with -update if the change is intended",
+			golden, buf.Len(), len(want))
+	}
+}
+
+// TestGoldenOutputWorkerInvariant re-runs the golden configuration at a
+// different parallelism: only the recorded worker count may change, so
+// the runs' results must match the golden file after normalization.
+func TestGoldenOutputWorkerInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeat run; covered by TestGoldenSuiteOutput in short mode")
+	}
+	base := goldenConfig()
+	alt := base
+	alt.workers = 5
+	docBase, err := runSuite(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docAlt, err := runSuite(context.Background(), alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docAlt.Workers = docBase.Workers
+	for i := range docAlt.Runs {
+		docAlt.Runs[i].Workers = docBase.Runs[i].Workers
+	}
+	var a, b bytes.Buffer
+	if err := writeDoc(&a, docBase); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeDoc(&b, docAlt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("suite results depend on worker count")
+	}
+}

@@ -1,0 +1,3 @@
+module stbpu
+
+go 1.21

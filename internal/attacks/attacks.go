@@ -67,9 +67,16 @@ func NewBaselineTarget() *Target {
 }
 
 // NewSTBPUTarget builds an STBPU target with the given re-randomization
-// thresholds (nil means the paper's r=0.05 defaults).
+// thresholds (nil means the paper's r=0.05 defaults) and the historical
+// fixed token seed.
 func NewSTBPUTarget(th *token.Thresholds) *Target {
-	m := core.NewModel(core.ModelConfig{Dir: core.DirSKLCond, Thresholds: th, Seed: 0xa77ac4})
+	return NewSTBPUTargetSeeded(th, 0xa77ac4)
+}
+
+// NewSTBPUTargetSeeded is NewSTBPUTarget with an explicit token-stream
+// seed, for harness-driven runs whose seeds derive from a root seed.
+func NewSTBPUTargetSeeded(th *token.Thresholds, seed uint64) *Target {
+	m := core.NewModel(core.ModelConfig{Dir: core.DirSKLCond, Thresholds: th, Seed: seed})
 	return &Target{Model: &sim.STBPUModel{Inner: m}, Name: "STBPU", st: m}
 }
 

@@ -13,6 +13,8 @@
 package cpu
 
 import (
+	"context"
+
 	"stbpu/internal/bpu"
 	"stbpu/internal/cache"
 	"stbpu/internal/sim"
@@ -131,11 +133,27 @@ func recHash(rec trace.Record, i int) uint64 {
 // Run executes a trace through the core and returns timing + branch
 // statistics.
 func (c *Core) Run(tr *trace.Trace) Result {
+	res, _ := c.RunCtx(context.Background(), tr)
+	return res
+}
+
+// runCheckInterval is how many records the timing loops execute between
+// context checks (mirrors sim.RunCtx).
+const runCheckInterval = 8192
+
+// RunCtx is Run with cancellation: it aborts with ctx.Err() when the
+// context is canceled mid-trace.
+func (c *Core) RunCtx(ctx context.Context, tr *trace.Trace) (Result, error) {
 	res := Result{Workload: tr.Name, Model: c.bpu.Name()}
 	var cycles, instrs uint64
 	robOverlap := uint64(c.cfg.ROB / c.cfg.Width)
 
 	for i, rec := range tr.Records {
+		if i%runCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		h := recHash(rec, i)
 		block := 1 + int(h%uint64(2*c.cfg.InstrPerBranch)) // mean ≈ IPB
 		instrs += uint64(block) + 1                        // block + the branch
@@ -175,7 +193,7 @@ func (c *Core) Run(tr *trace.Trace) Result {
 	res.Branch.Records = len(tr.Records)
 	res.Instructions = instrs
 	res.Cycles = cycles
-	return res
+	return res, nil
 }
 
 // SMTResult is a two-thread co-run outcome.
@@ -202,6 +220,13 @@ func (r SMTResult) HarmonicMeanIPC() float64 {
 // round-robin (ICOUNT-style fairness), the BPU and caches are shared, and
 // both threads accumulate cycles on the shared clock.
 func (c *Core) RunSMT(a, b *trace.Trace) SMTResult {
+	res, _ := c.RunSMTCtx(context.Background(), a, b)
+	return res
+}
+
+// RunSMTCtx is RunSMT with cancellation: it aborts with ctx.Err() when the
+// context is canceled mid-co-run.
+func (c *Core) RunSMTCtx(ctx context.Context, a, b *trace.Trace) (SMTResult, error) {
 	res := SMTResult{Workloads: [2]string{a.Name, b.Name}, Model: c.bpu.Name()}
 	res.PerThread[0] = Result{Workload: a.Name, Model: c.bpu.Name()}
 	res.PerThread[1] = Result{Workload: b.Name, Model: c.bpu.Name()}
@@ -209,8 +234,14 @@ func (c *Core) RunSMT(a, b *trace.Trace) SMTResult {
 
 	traces := [2]*trace.Trace{a, b}
 	idx := [2]int{}
-	var cycles uint64
+	var cycles, rounds uint64
 	for idx[0] < len(a.Records) || idx[1] < len(b.Records) {
+		if rounds%runCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return SMTResult{}, err
+			}
+		}
+		rounds++
 		for t := 0; t < 2; t++ {
 			tr := traces[t]
 			if idx[t] >= len(tr.Records) {
@@ -257,7 +288,7 @@ func (c *Core) RunSMT(a, b *trace.Trace) SMTResult {
 	res.PerThread[1].Cycles = cycles
 	res.PerThread[0].Branch.Records = len(a.Records)
 	res.PerThread[1].Branch.Records = len(b.Records)
-	return res
+	return res, nil
 }
 
 // accountBranch mirrors sim.Run's event accounting for one record.

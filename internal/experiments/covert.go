@@ -8,10 +8,13 @@ package experiments
 // unprotected baseline, ~0 under STBPU.
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"stbpu/internal/attacks"
+	"stbpu/internal/harness"
+	"stbpu/internal/rng"
 )
 
 // CovertRow is one model's channel measurement.
@@ -33,32 +36,62 @@ type CovertResult struct {
 	Rows []CovertRow
 }
 
-// RunCovertComparison measures the PHT covert channel on the full lineup.
+// covertCell is one (model, trial) measurement before averaging.
+type covertCell struct {
+	errRate, capacity, bandwidth float64
+	rerands                      uint64
+}
+
+// RunCovertComparison measures the PHT covert channel on the full lineup
+// on the default pool.
 func RunCovertComparison(nbits int) CovertResult {
-	models := DefenseModels()
-	res := CovertResult{Bits: nbits}
-	for m := range models {
-		// Average over independent instances to smooth randomized
-		// defenses' luck.
-		var errSum, capSum, bwSum float64
-		var rerand uint64
-		for run := uint64(0); run < matrixRuns; run++ {
-			tgt := newMatrixTarget(models, m, 0xc0de+run)
-			r := attacks.PHTCovertChannel(tgt, nbits, 0xfeed+run)
-			errSum += r.ErrorRate()
-			capSum += r.CapacityPerSymbol()
-			bwSum += r.BandwidthBitsPerKRecord()
-			rerand += r.Rerandomizations
-		}
-		res.Rows = append(res.Rows, CovertRow{
-			Model:            models[m],
-			ErrorRate:        errSum / matrixRuns,
-			Capacity:         capSum / matrixRuns,
-			Bandwidth:        bwSum / matrixRuns,
-			Rerandomizations: rerand,
-		})
-	}
+	res, _ := RunCovertComparisonCtx(context.Background(),
+		harness.Params{Bits: nbits, Trials: matrixRuns}, harness.Default())
 	return res
+}
+
+// RunCovertComparisonCtx measures the channel, sharding (model × trial)
+// cells; trials average out randomized defenses' luck.
+func RunCovertComparisonCtx(ctx context.Context, p harness.Params, pool *harness.Pool) (CovertResult, error) {
+	models := DefenseModels()
+	trials := p.Trials
+	if trials <= 0 {
+		trials = matrixRuns
+	}
+	cells, err := harness.Map(ctx, pool, "covert", len(models)*trials,
+		func(ctx context.Context, shard int, seed uint64) (covertCell, error) {
+			m := shard / trials
+			tgt := newMatrixTarget(models, m, seed)
+			// The channel's pattern RNG gets its own stream, split off the
+			// cell seed so model and channel noise stay independent.
+			chanSeed := rng.SplitMix64(&seed)
+			r := attacks.PHTCovertChannel(tgt, p.Bits, chanSeed)
+			return covertCell{
+				errRate:   r.ErrorRate(),
+				capacity:  r.CapacityPerSymbol(),
+				bandwidth: r.BandwidthBitsPerKRecord(),
+				rerands:   r.Rerandomizations,
+			}, nil
+		})
+	if err != nil {
+		return CovertResult{}, err
+	}
+	res := CovertResult{Bits: p.Bits}
+	for m := range models {
+		var row CovertRow
+		for _, c := range cells[m*trials : (m+1)*trials] {
+			row.ErrorRate += c.errRate
+			row.Capacity += c.capacity
+			row.Bandwidth += c.bandwidth
+			row.Rerandomizations += c.rerands
+		}
+		row.Model = models[m]
+		row.ErrorRate /= float64(trials)
+		row.Capacity /= float64(trials)
+		row.Bandwidth /= float64(trials)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
 }
 
 // Render writes the channel comparison as a text table.

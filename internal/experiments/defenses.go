@@ -9,12 +9,14 @@ package experiments
 // matrix per Table I class.
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"stbpu/internal/attacks"
 	"stbpu/internal/core"
 	"stbpu/internal/defenses"
+	"stbpu/internal/harness"
 	"stbpu/internal/sim"
 	"stbpu/internal/stats"
 )
@@ -29,13 +31,19 @@ func DefenseModels() []string {
 	return append(names, "STBPU")
 }
 
-// newDefenseLineup constructs fresh model instances for one workload run.
-func newDefenseLineup(sharedTokens bool, seed uint64) []sim.Model {
-	ms := []sim.Model{sim.New(sim.KindBaseline, sim.Options{Seed: seed})}
-	for _, k := range defenses.Kinds() {
-		ms = append(ms, defenses.New(k, defenses.Options{Seed: seed}))
+// newDefenseModel constructs lineup entry idx (DefenseModels order) —
+// only the selected model, since each (workload × model) cell needs one
+// and predictor tables are expensive to allocate.
+func newDefenseModel(idx int, sharedTokens bool, seed uint64) sim.Model {
+	kinds := defenses.Kinds()
+	switch {
+	case idx == 0:
+		return sim.New(sim.KindBaseline, sim.Options{Seed: seed})
+	case idx <= len(kinds):
+		return defenses.New(kinds[idx-1], defenses.Options{Seed: seed})
+	default:
+		return sim.New(sim.KindSTBPU, sim.Options{SharedTokens: sharedTokens, Seed: seed})
 	}
-	return append(ms, sim.New(sim.KindSTBPU, sim.Options{SharedTokens: sharedTokens, Seed: seed}))
 }
 
 // DefenseAccuracyRow is one workload's OAE across the lineup.
@@ -62,44 +70,56 @@ func defenseWorkloads() []string {
 	}
 }
 
-// RunDefenseAccuracy measures OAE for every model in the lineup.
+// RunDefenseAccuracy measures OAE for every model in the lineup on the
+// default pool.
 func RunDefenseAccuracy(s Scale) (DefenseAccuracyResult, error) {
+	return RunDefenseAccuracyCtx(context.Background(), s.Params(), harness.Default())
+}
+
+// RunDefenseAccuracyCtx measures OAE for every model in the lineup,
+// sharding (workload × model) cells.
+func RunDefenseAccuracyCtx(ctx context.Context, p harness.Params, pool *harness.Pool) (DefenseAccuracyResult, error) {
+	s := scaleOf(p)
 	names := capList(defenseWorkloads(), s.MaxWorkloads)
 	res := DefenseAccuracyResult{Models: DefenseModels()}
-	rows := make([]DefenseAccuracyRow, len(names))
-	errs := make([]error, len(names))
-	parallelFor(len(names), func(i int) {
-		tr, prof, err := genTrace(names[i], s)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		row := DefenseAccuracyRow{
-			Workload:   names[i],
-			OAE:        make([]float64, len(res.Models)),
-			Normalized: make([]float64, len(res.Models)),
-		}
-		for k, m := range newDefenseLineup(prof.SharedTokens, 7) {
-			row.OAE[k] = sim.Run(m, tr).OAE()
-		}
-		for k := range row.Normalized {
-			row.Normalized[k] = row.OAE[k] / row.OAE[0]
-		}
-		rows[i] = row
-	})
-	for _, err := range errs {
-		if err != nil {
-			return DefenseAccuracyResult{}, err
-		}
+	var cache traceCache
+	k := len(res.Models)
+	oaes, err := harness.Map(ctx, pool, "defense-accuracy", len(names)*k,
+		func(ctx context.Context, shard int, seed uint64) (float64, error) {
+			w, mi := shard/k, shard%k
+			tr, prof, err := cache.get(names[w], s.Records)
+			if err != nil {
+				return 0, err
+			}
+			m := newDefenseModel(mi, prof.SharedTokens, seed)
+			r, err := sim.RunCtx(ctx, m, tr)
+			if err != nil {
+				return 0, err
+			}
+			return r.OAE(), nil
+		})
+	if err != nil {
+		return DefenseAccuracyResult{}, err
 	}
-	res.Rows = rows
-	res.AvgNormalized = make([]float64, len(res.Models))
-	for k := range res.Models {
-		vals := make([]float64, len(rows))
-		for i, r := range rows {
-			vals[i] = r.Normalized[k]
+	res.Rows = make([]DefenseAccuracyRow, len(names))
+	for w := range names {
+		row := DefenseAccuracyRow{
+			Workload:   names[w],
+			OAE:        oaes[w*k : (w+1)*k : (w+1)*k],
+			Normalized: make([]float64, k),
 		}
-		res.AvgNormalized[k] = stats.Mean(vals)
+		for mi := range row.Normalized {
+			row.Normalized[mi] = row.OAE[mi] / row.OAE[0]
+		}
+		res.Rows[w] = row
+	}
+	res.AvgNormalized = make([]float64, k)
+	for mi := range res.Models {
+		vals := make([]float64, len(res.Rows))
+		for i, r := range res.Rows {
+			vals[i] = r.Normalized[mi]
+		}
+		res.AvgNormalized[mi] = stats.Mean(vals)
 	}
 	return res, nil
 }
@@ -171,15 +191,17 @@ func newMatrixTarget(models []string, idx int, seed uint64) *attacks.Target {
 	}
 }
 
-// RunDefenseMatrix drives the Table I attack classes against the lineup.
-// Each driver receives a factory for fresh target instances so paired
-// trials (e.g. BlueThunder with both secret values) stay independent.
-func RunDefenseMatrix() DefenseMatrixResult {
-	type driver struct {
-		name string
-		run  func(mk func() *attacks.Target) attacks.Result
-	}
-	drivers := []driver{
+// matrixDriver is one Table I attack class adapted to target factories, so
+// paired trials (e.g. BlueThunder with both secret values) stay
+// independent.
+type matrixDriver struct {
+	name string
+	run  func(mk func() *attacks.Target) attacks.Result
+}
+
+// matrixDrivers is the attack lineup of the §VIII matrix.
+func matrixDrivers() []matrixDriver {
+	return []matrixDriver{
 		{"btb-reuse", func(mk func() *attacks.Target) attacks.Result {
 			return attacks.BTBReuseSideChannel(mk(), defenseAttackBudget)
 		}},
@@ -217,33 +239,63 @@ func RunDefenseMatrix() DefenseMatrixResult {
 			return attacks.BTBReuseSideChannel(t, defenseAttackBudget)
 		}},
 	}
+}
 
+// RunDefenseMatrix drives the Table I attack classes against the lineup on
+// the default pool.
+func RunDefenseMatrix() DefenseMatrixResult {
+	res, _ := RunDefenseMatrixCtx(context.Background(),
+		harness.Params{Trials: matrixRuns}, harness.Default())
+	return res
+}
+
+// RunDefenseMatrixCtx drives the matrix, sharding (attack × model × trial)
+// cells. An attack class counts as OPEN only if it succeeds in at least
+// matrixWins of p.Trials independent runs.
+func RunDefenseMatrixCtx(ctx context.Context, p harness.Params, pool *harness.Pool) (DefenseMatrixResult, error) {
+	drivers := matrixDrivers()
 	res := DefenseMatrixResult{Models: DefenseModels()}
 	for _, d := range drivers {
 		res.Attacks = append(res.Attacks, d.name)
 	}
+	trials := p.Trials
+	if trials <= 0 {
+		trials = matrixRuns
+	}
+	nm := len(res.Models)
+	runs, err := harness.Map(ctx, pool, "defense-matrix", len(drivers)*nm*trials,
+		func(ctx context.Context, shard int, seed uint64) (attacks.Result, error) {
+			a := shard / (nm * trials)
+			m := (shard / trials) % nm
+			return drivers[a].run(func() *attacks.Target {
+				return newMatrixTarget(res.Models, m, seed)
+			}), nil
+		})
+	if err != nil {
+		return DefenseMatrixResult{}, err
+	}
+	// The win bar scales with the trial count, preserving the 3-of-4
+	// default ratio.
+	wins := (matrixWins*trials + matrixRuns - 1) / matrixRuns
 	res.Cells = make([][]DefenseMatrixCell, len(drivers))
 	for a, d := range drivers {
-		res.Cells[a] = make([]DefenseMatrixCell, len(res.Models))
+		res.Cells[a] = make([]DefenseMatrixCell, nm)
 		for m, name := range res.Models {
-			wins, trials := 0, 0
-			for run := uint64(0); run < matrixRuns; run++ {
-				seed := 0x5ec + run
-				r := d.run(func() *attacks.Target {
-					return newMatrixTarget(res.Models, m, seed)
-				})
+			won, total := 0, 0
+			for run := 0; run < trials; run++ {
+				r := runs[a*nm*trials+m*trials+run]
 				if r.Succeeded {
-					wins++
+					won++
 				}
-				trials += r.Trials
+				total += r.Trials
 			}
 			res.Cells[a][m] = DefenseMatrixCell{
 				Attack: d.name, Model: name,
-				Succeeded: wins >= matrixWins, Trials: trials / matrixRuns,
+				Succeeded: won >= wins, Trials: total / trials,
 			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // Render writes the matrix with one row per attack.

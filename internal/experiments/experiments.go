@@ -1,19 +1,24 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (§VII) from this repository's models. Each Run* function
-// returns a structured result with a Render method producing the same
-// rows/series the paper reports; EXPERIMENTS.md records paper-vs-measured.
+// evaluation (§VII) from this repository's models. Each experiment is
+// registered as a harness.Scenario (see scenarios.go) whose cell space —
+// (model × workload × trial) — is sharded across the harness worker pool
+// with per-cell seeds derived from the pool's root seed, so results are
+// bit-identical at any worker count. Each Run* function returns a
+// structured result with a Render method producing the same rows/series
+// the paper reports; EXPERIMENTS.md records paper-vs-measured.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
 	"sync"
 
 	"stbpu/internal/analysis"
 	"stbpu/internal/core"
 	"stbpu/internal/cpu"
+	"stbpu/internal/harness"
 	"stbpu/internal/sim"
 	"stbpu/internal/stats"
 	"stbpu/internal/token"
@@ -37,6 +42,16 @@ func QuickScale() Scale { return Scale{Records: 40_000, MaxWorkloads: 6, MaxPair
 // FullScale reproduces the complete figures.
 func FullScale() Scale { return Scale{Records: 250_000} }
 
+// Params lifts a Scale into harness parameters.
+func (s Scale) Params() harness.Params {
+	return harness.Params{Records: s.Records, MaxWorkloads: s.MaxWorkloads, MaxPairs: s.MaxPairs}
+}
+
+// scaleOf projects harness parameters back onto a Scale.
+func scaleOf(p harness.Params) Scale {
+	return Scale{Records: p.Records, MaxWorkloads: p.MaxWorkloads, MaxPairs: p.MaxPairs}
+}
+
 func capList[T any](xs []T, n int) []T {
 	if n > 0 && len(xs) > n {
 		return xs[:n]
@@ -58,34 +73,29 @@ func genTrace(name string, s Scale) (*trace.Trace, trace.Profile, error) {
 	return tr, p, nil
 }
 
-// parallelFor runs fn(i) for i in [0,n) on all cores.
-func parallelFor(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	ch := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		ch <- i
-	}
-	close(ch)
-	wg.Wait()
+// traceCache deduplicates trace generation across the cells of one
+// scenario run: with (model × workload) sharding every model cell of a
+// workload wants the same trace, and generation is deterministic, so the
+// first cell to arrive builds it and the rest share it read-only.
+type traceCache struct {
+	m sync.Map // "name@records" -> *traceEntry
+}
+
+type traceEntry struct {
+	once sync.Once
+	tr   *trace.Trace
+	prof trace.Profile
+	err  error
+}
+
+func (c *traceCache) get(name string, records int) (*trace.Trace, trace.Profile, error) {
+	key := fmt.Sprintf("%s@%d", name, records)
+	e, _ := c.m.LoadOrStore(key, &traceEntry{})
+	ent := e.(*traceEntry)
+	ent.once.Do(func() {
+		ent.tr, ent.prof, ent.err = genTrace(name, Scale{Records: records})
+	})
+	return ent.tr, ent.prof, ent.err
 }
 
 // ---------------------------------------------------------------------------
@@ -106,41 +116,51 @@ type Fig3Result struct {
 	AvgNormalized [5]float64
 }
 
-// RunFig3 regenerates Fig. 3.
+// RunFig3 regenerates Fig. 3 on the default pool.
 func RunFig3(s Scale) (Fig3Result, error) {
+	return RunFig3Ctx(context.Background(), s.Params(), harness.Default())
+}
+
+// RunFig3Ctx regenerates Fig. 3 on the given pool, sharding
+// (workload × model) cells.
+func RunFig3Ctx(ctx context.Context, p harness.Params, pool *harness.Pool) (Fig3Result, error) {
+	s := scaleOf(p)
 	names := capList(trace.Fig3Workloads(), s.MaxWorkloads)
-	rows := make([]Fig3Row, len(names))
-	errs := make([]error, len(names))
-	parallelFor(len(names), func(i int) {
-		name := names[i]
-		tr, prof, err := genTrace(name, s)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		row := Fig3Row{Workload: name}
-		for k, kind := range sim.Fig3Kinds() {
-			m := sim.New(kind, sim.Options{SharedTokens: prof.SharedTokens, Seed: 7})
-			row.OAE[k] = sim.Run(m, tr).OAE()
-		}
-		for k := range row.Normalized {
-			row.Normalized[k] = row.OAE[k] / row.OAE[0]
-		}
-		rows[i] = row
-	})
-	for _, err := range errs {
-		if err != nil {
-			return Fig3Result{}, err
-		}
+	kinds := sim.Fig3Kinds()
+	var cache traceCache
+	k := len(kinds)
+	oaes, err := harness.Map(ctx, pool, "fig3", len(names)*k,
+		func(ctx context.Context, shard int, seed uint64) (float64, error) {
+			w, ki := shard/k, shard%k
+			tr, prof, err := cache.get(names[w], s.Records)
+			if err != nil {
+				return 0, err
+			}
+			m := sim.New(kinds[ki], sim.Options{SharedTokens: prof.SharedTokens, Seed: seed})
+			res, err := sim.RunCtx(ctx, m, tr)
+			if err != nil {
+				return 0, err
+			}
+			return res.OAE(), nil
+		})
+	if err != nil {
+		return Fig3Result{}, err
 	}
-	var res Fig3Result
-	res.Rows = rows
-	for k := 0; k < 5; k++ {
-		vals := make([]float64, len(rows))
-		for i, r := range rows {
-			vals[i] = r.Normalized[k]
+	res := Fig3Result{Rows: make([]Fig3Row, len(names))}
+	for w := range names {
+		row := Fig3Row{Workload: names[w]}
+		copy(row.OAE[:], oaes[w*k:(w+1)*k])
+		for ki := range row.Normalized {
+			row.Normalized[ki] = row.OAE[ki] / row.OAE[0]
 		}
-		res.AvgNormalized[k] = stats.Mean(vals)
+		res.Rows[w] = row
+	}
+	for ki := 0; ki < k; ki++ {
+		vals := make([]float64, len(res.Rows))
+		for i, r := range res.Rows {
+			vals[i] = r.Normalized[ki]
+		}
+		res.AvgNormalized[ki] = stats.Mean(vals)
 	}
 	return res, nil
 }
@@ -200,56 +220,78 @@ type Fig4Result struct {
 
 // runPair runs one workload through the unprotected and ST variants of a
 // predictor on the CPU model.
-func runPair(tr *trace.Trace, dir core.DirKind, seed uint64) Fig4Cell {
+func runPair(ctx context.Context, tr *trace.Trace, dir core.DirKind, seed uint64) (Fig4Cell, error) {
 	cfg := cpu.ConfigFor(tr.Name)
-	base := cpu.New(cfg, &sim.UnitModel{
-		ModelName: dir.String(), Unit: core.NewUnprotectedUnit(dir)}).Run(tr)
-	st := cpu.New(cfg, &sim.STBPUModel{
-		Inner: core.NewModel(core.ModelConfig{Dir: dir, Seed: seed})}).Run(tr)
+	base, err := cpu.New(cfg, &sim.UnitModel{
+		ModelName: dir.String(), Unit: core.NewUnprotectedUnit(dir)}).RunCtx(ctx, tr)
+	if err != nil {
+		return Fig4Cell{}, err
+	}
+	st, err := cpu.New(cfg, &sim.STBPUModel{
+		Inner: core.NewModel(core.ModelConfig{Dir: dir, Seed: seed})}).RunCtx(ctx, tr)
+	if err != nil {
+		return Fig4Cell{}, err
+	}
 	return Fig4Cell{
 		DirReduction: base.Branch.DirectionRate() - st.Branch.DirectionRate(),
 		TgtReduction: base.Branch.TargetRate() - st.Branch.TargetRate(),
 		NormIPC:      st.IPC() / base.IPC(),
-	}
+	}, nil
 }
 
-// RunFig4 regenerates Fig. 4.
+// RunFig4 regenerates Fig. 4 on the default pool.
 func RunFig4(s Scale) (Fig4Result, error) {
+	return RunFig4Ctx(context.Background(), s.Params(), harness.Default())
+}
+
+// RunFig4Ctx regenerates Fig. 4 on the given pool, sharding
+// (workload × predictor) cells.
+func RunFig4Ctx(ctx context.Context, p harness.Params, pool *harness.Pool) (Fig4Result, error) {
+	s := scaleOf(p)
 	names := capList(trace.SPEC18(), s.MaxWorkloads)
-	rows := make([]Fig4Row, len(names))
-	errs := make([]error, len(names))
-	parallelFor(len(names), func(i int) {
-		tr, _, err := genTrace(names[i], s)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		row := Fig4Row{Workload: names[i]}
-		for d, dir := range Fig4Dirs() {
-			row.Cells[d] = runPair(tr, dir, 11)
-		}
-		rows[i] = row
-	})
-	for _, err := range errs {
-		if err != nil {
-			return Fig4Result{}, err
-		}
+	dirs := Fig4Dirs()
+	var cache traceCache
+	d := len(dirs)
+	cells, err := harness.Map(ctx, pool, "fig4", len(names)*d,
+		func(ctx context.Context, shard int, seed uint64) (Fig4Cell, error) {
+			w, di := shard/d, shard%d
+			tr, _, err := cache.get(names[w], s.Records)
+			if err != nil {
+				return Fig4Cell{}, err
+			}
+			return runPair(ctx, tr, dirs[di], seed)
+		})
+	if err != nil {
+		return Fig4Result{}, err
 	}
-	res := Fig4Result{Rows: rows}
+	res := Fig4Result{Rows: make([]Fig4Row, len(names))}
+	for w := range names {
+		row := Fig4Row{Workload: names[w]}
+		copy(row.Cells[:], cells[w*d:(w+1)*d])
+		res.Rows[w] = row
+	}
+	res.Avg = avgFig4Cells(res.Rows, func(r Fig4Row) [4]Fig4Cell { return r.Cells })
+	return res, nil
+}
+
+// avgFig4Cells column-averages the four predictor cells over rows.
+func avgFig4Cells[T any](rows []T, cells func(T) [4]Fig4Cell) [4]Fig4Cell {
+	var avg [4]Fig4Cell
 	for d := 0; d < 4; d++ {
 		var dirs, tgts, ipcs []float64
 		for _, r := range rows {
-			dirs = append(dirs, r.Cells[d].DirReduction)
-			tgts = append(tgts, r.Cells[d].TgtReduction)
-			ipcs = append(ipcs, r.Cells[d].NormIPC)
+			c := cells(r)[d]
+			dirs = append(dirs, c.DirReduction)
+			tgts = append(tgts, c.TgtReduction)
+			ipcs = append(ipcs, c.NormIPC)
 		}
-		res.Avg[d] = Fig4Cell{
+		avg[d] = Fig4Cell{
 			DirReduction: stats.Mean(dirs),
 			TgtReduction: stats.Mean(tgts),
 			NormIPC:      stats.Mean(ipcs),
 		}
 	}
-	return res, nil
+	return avg
 }
 
 // Render writes the figure as a text table.
@@ -289,12 +331,18 @@ type Fig5Result struct {
 }
 
 // runSMTPair compares unprotected vs ST for one predictor on a pair.
-func runSMTPair(a, b *trace.Trace, dir core.DirKind, seed uint64) Fig4Cell {
+func runSMTPair(ctx context.Context, a, b *trace.Trace, dir core.DirKind, seed uint64) (Fig4Cell, error) {
 	cfg := cpu.ConfigFor(a.Name) // pair co-runs share one core configuration
-	base := cpu.New(cfg, &sim.UnitModel{
-		ModelName: dir.String(), Unit: core.NewUnprotectedUnit(dir)}).RunSMT(a, b)
-	st := cpu.New(cfg, &sim.STBPUModel{
-		Inner: core.NewModel(core.ModelConfig{Dir: dir, Seed: seed})}).RunSMT(a, b)
+	base, err := cpu.New(cfg, &sim.UnitModel{
+		ModelName: dir.String(), Unit: core.NewUnprotectedUnit(dir)}).RunSMTCtx(ctx, a, b)
+	if err != nil {
+		return Fig4Cell{}, err
+	}
+	st, err := cpu.New(cfg, &sim.STBPUModel{
+		Inner: core.NewModel(core.ModelConfig{Dir: dir, Seed: seed})}).RunSMTCtx(ctx, a, b)
+	if err != nil {
+		return Fig4Cell{}, err
+	}
 	dirBase := (base.PerThread[0].Branch.DirectionRate() + base.PerThread[1].Branch.DirectionRate()) / 2
 	dirST := (st.PerThread[0].Branch.DirectionRate() + st.PerThread[1].Branch.DirectionRate()) / 2
 	tgtBase := (base.PerThread[0].Branch.TargetRate() + base.PerThread[1].Branch.TargetRate()) / 2
@@ -303,50 +351,45 @@ func runSMTPair(a, b *trace.Trace, dir core.DirKind, seed uint64) Fig4Cell {
 		DirReduction: dirBase - dirST,
 		TgtReduction: tgtBase - tgtST,
 		NormIPC:      st.HarmonicMeanIPC() / base.HarmonicMeanIPC(),
-	}
+	}, nil
 }
 
-// RunFig5 regenerates Fig. 5.
+// RunFig5 regenerates Fig. 5 on the default pool.
 func RunFig5(s Scale) (Fig5Result, error) {
+	return RunFig5Ctx(context.Background(), s.Params(), harness.Default())
+}
+
+// RunFig5Ctx regenerates Fig. 5 on the given pool, sharding
+// (pair × predictor) cells.
+func RunFig5Ctx(ctx context.Context, p harness.Params, pool *harness.Pool) (Fig5Result, error) {
+	s := scaleOf(p)
 	pairs := capList(trace.SMTPairs(), s.MaxPairs)
-	rows := make([]Fig5Row, len(pairs))
-	errs := make([]error, len(pairs))
-	parallelFor(len(pairs), func(i int) {
-		a, _, err := genTrace(pairs[i][0], s)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		b, _, err := genTrace(pairs[i][1], s)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		row := Fig5Row{Pair: pairs[i]}
-		for d, dir := range Fig4Dirs() {
-			row.Cells[d] = runSMTPair(a, b, dir, 13)
-		}
-		rows[i] = row
-	})
-	for _, err := range errs {
-		if err != nil {
-			return Fig5Result{}, err
-		}
+	dirs := Fig4Dirs()
+	var cache traceCache
+	d := len(dirs)
+	cells, err := harness.Map(ctx, pool, "fig5", len(pairs)*d,
+		func(ctx context.Context, shard int, seed uint64) (Fig4Cell, error) {
+			pi, di := shard/d, shard%d
+			a, _, err := cache.get(pairs[pi][0], s.Records)
+			if err != nil {
+				return Fig4Cell{}, err
+			}
+			b, _, err := cache.get(pairs[pi][1], s.Records)
+			if err != nil {
+				return Fig4Cell{}, err
+			}
+			return runSMTPair(ctx, a, b, dirs[di], seed)
+		})
+	if err != nil {
+		return Fig5Result{}, err
 	}
-	res := Fig5Result{Rows: rows}
-	for d := 0; d < 4; d++ {
-		var dirs, tgts, ipcs []float64
-		for _, r := range rows {
-			dirs = append(dirs, r.Cells[d].DirReduction)
-			tgts = append(tgts, r.Cells[d].TgtReduction)
-			ipcs = append(ipcs, r.Cells[d].NormIPC)
-		}
-		res.Avg[d] = Fig4Cell{
-			DirReduction: stats.Mean(dirs),
-			TgtReduction: stats.Mean(tgts),
-			NormIPC:      stats.Mean(ipcs),
-		}
+	res := Fig5Result{Rows: make([]Fig5Row, len(pairs))}
+	for pi := range pairs {
+		row := Fig5Row{Pair: pairs[pi]}
+		copy(row.Cells[:], cells[pi*d:(pi+1)*d])
+		res.Rows[pi] = row
 	}
+	res.Avg = avgFig4Cells(res.Rows, func(r Fig5Row) [4]Fig4Cell { return r.Cells })
 	return res, nil
 }
 
@@ -387,39 +430,95 @@ type Fig6Result struct {
 	Points []Fig6Point
 }
 
-// RunFig6 regenerates Fig. 6: the X axis sweeps the attack-difficulty
-// factor r from the paper's operating point down to values where
-// re-randomization fires every few hundred events.
+// DefaultFig6Sweep is the paper's r axis: from the operating point down to
+// values where re-randomization fires every few hundred events.
+func DefaultFig6Sweep() []float64 { return []float64{5e-2, 5e-3, 5e-4, 5e-5, 5e-6} }
+
+// fig6Cell is one (r, pair) measurement before aggregation.
+type fig6Cell struct {
+	acc, ipc float64
+	rerands  uint64
+}
+
+// RunFig6 regenerates Fig. 6 on the default pool.
 func RunFig6(s Scale, rs []float64) (Fig6Result, error) {
+	p := s.Params()
+	p.Sweep = rs
+	return RunFig6Ctx(context.Background(), p, harness.Default())
+}
+
+// RunFig6Ctx regenerates Fig. 6 on the given pool, sharding (r × pair)
+// cells across the sweep in p.Sweep.
+func RunFig6Ctx(ctx context.Context, p harness.Params, pool *harness.Pool) (Fig6Result, error) {
+	s := scaleOf(p)
+	rs := p.Sweep
 	if len(rs) == 0 {
-		rs = []float64{5e-2, 5e-3, 5e-4, 5e-5, 5e-6}
+		rs = DefaultFig6Sweep()
 	}
 	pairs := capList(trace.SMTPairsExtended(), s.MaxPairs)
-	var res Fig6Result
-	for _, r := range rs {
-		var accs, ipcs []float64
-		var rerands uint64
-		th := token.Derive(r)
-		for _, pr := range pairs {
-			a, _, err := genTrace(pr[0], s)
+	var cache traceCache
+	np := len(pairs)
+	// The unprotected TAGE64 baseline depends only on the pair, not on r,
+	// so it is simulated once per pair and shared across the sweep (it is
+	// deterministic, so first-arrival computation keeps results
+	// worker-count-independent).
+	type baselineEntry struct {
+		once sync.Once
+		ipc  float64
+		err  error
+	}
+	baselines := make([]baselineEntry, np)
+	cells, err := harness.Map(ctx, pool, "fig6", len(rs)*np,
+		func(ctx context.Context, shard int, seed uint64) (fig6Cell, error) {
+			ri, pi := shard/np, shard%np
+			a, _, err := cache.get(pairs[pi][0], s.Records)
 			if err != nil {
-				return Fig6Result{}, err
+				return fig6Cell{}, err
 			}
-			b, _, err := genTrace(pr[1], s)
+			b, _, err := cache.get(pairs[pi][1], s.Records)
 			if err != nil {
-				return Fig6Result{}, err
+				return fig6Cell{}, err
 			}
+			th := token.Derive(rs[ri])
 			cfg := cpu.ConfigFor(a.Name)
-			base := cpu.New(cfg, &sim.UnitModel{
-				ModelName: "TAGE64", Unit: core.NewUnprotectedUnit(core.DirTAGE64)}).RunSMT(a, b)
-			stModel := core.NewModel(core.ModelConfig{Dir: core.DirTAGE64, Thresholds: &th, Seed: 17})
-			st := cpu.New(cfg, &sim.STBPUModel{Inner: stModel}).RunSMT(a, b)
+			bl := &baselines[pi]
+			bl.once.Do(func() {
+				base, err := cpu.New(cfg, &sim.UnitModel{
+					ModelName: "TAGE64", Unit: core.NewUnprotectedUnit(core.DirTAGE64)}).RunSMTCtx(ctx, a, b)
+				if err != nil {
+					bl.err = err
+					return
+				}
+				bl.ipc = base.HarmonicMeanIPC()
+			})
+			if bl.err != nil {
+				return fig6Cell{}, bl.err
+			}
+			stModel := core.NewModel(core.ModelConfig{Dir: core.DirTAGE64, Thresholds: &th, Seed: seed})
+			st, err := cpu.New(cfg, &sim.STBPUModel{Inner: stModel}).RunSMTCtx(ctx, a, b)
+			if err != nil {
+				return fig6Cell{}, err
+			}
 
 			misp := st.PerThread[0].Branch.Mispredicts + st.PerThread[1].Branch.Mispredicts
 			total := uint64(st.PerThread[0].Branch.Records + st.PerThread[1].Branch.Records)
-			accs = append(accs, 1-float64(misp)/float64(total))
-			ipcs = append(ipcs, st.HarmonicMeanIPC()/base.HarmonicMeanIPC())
-			rerands += stModel.Rerandomizations()
+			return fig6Cell{
+				acc:     1 - float64(misp)/float64(total),
+				ipc:     st.HarmonicMeanIPC() / bl.ipc,
+				rerands: stModel.Rerandomizations(),
+			}, nil
+		})
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	var res Fig6Result
+	for ri, r := range rs {
+		var accs, ipcs []float64
+		var rerands uint64
+		for _, c := range cells[ri*np : (ri+1)*np] {
+			accs = append(accs, c.acc)
+			ipcs = append(ipcs, c.ipc)
+			rerands += c.rerands
 		}
 		res.Points = append(res.Points, Fig6Point{
 			R:        r,
@@ -472,4 +571,35 @@ func (t ThresholdReport) Render(w io.Writer) {
 	}
 	fmt.Fprintf(w, "\nthresholds at r=%g: mispredictions %.4g, evictions %.4g\n",
 		t.R, t.MispThresh, t.EvictThresh)
+}
+
+// ---------------------------------------------------------------------------
+// Γ sweep — the security side of Fig. 6.
+
+// GammaResult tabulates epoch-success probabilities across r values.
+type GammaResult struct {
+	Rows []analysis.GammaSweepRow
+}
+
+// DefaultGammaSweep is the r axis the bench CLI historically printed.
+func DefaultGammaSweep() []float64 {
+	return []float64{0.05, 0.005, 5e-4, 5e-5, 5e-6, 5e-7}
+}
+
+// RunGamma evaluates the Γ security table at the given r values.
+func RunGamma(rs []float64) GammaResult {
+	if len(rs) == 0 {
+		rs = DefaultGammaSweep()
+	}
+	return GammaResult{Rows: analysis.GammaSweep(rs)}
+}
+
+// Render writes the sweep.
+func (g GammaResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "%-10s %14s %14s %14s %16s\n",
+		"r", "misp Γ", "evict Γ", "P(epoch)", "epochs to 50%")
+	for _, row := range g.Rows {
+		fmt.Fprintf(w, "%-10.0e %14.3e %14.3e %14.5f %16.3e\n",
+			row.R, row.MispThreshold, row.EvictThreshold, row.EpochSuccess, row.EpochsFor50)
+	}
 }

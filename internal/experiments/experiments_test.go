@@ -5,7 +5,29 @@ import (
 	"testing"
 )
 
+// TestFig3CappedShape is the short-mode stand-in for the full-list shape
+// tests below: a capped workload set keeps `go test -race -short` fast
+// while still exercising the harness path end to end.
+func TestFig3CappedShape(t *testing.T) {
+	res, err := RunFig3(Scale{Records: 25_000, MaxWorkloads: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("Fig3 rows = %d, want 6", len(res.Rows))
+	}
+	if res.AvgNormalized[0] != 1.0 {
+		t.Errorf("baseline normalization broken: %v", res.AvgNormalized[0])
+	}
+	if st := res.AvgNormalized[4]; st < 0.95 {
+		t.Errorf("STBPU average normalized OAE %.3f on capped set, want >= 0.95", st)
+	}
+}
+
 func TestFig3QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 37-workload sweep; TestFig3CappedShape covers the short path")
+	}
 	res, err := RunFig3(Scale{Records: 40_000, MaxWorkloads: 0})
 	if err != nil {
 		t.Fatal(err)
@@ -40,6 +62,9 @@ func TestFig3QuickShape(t *testing.T) {
 }
 
 func TestFig3ServerWorkloadsHurtMost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 37-workload sweep; needs the server/SPEC split")
+	}
 	res, err := RunFig3(Scale{Records: 40_000})
 	if err != nil {
 		t.Fatal(err)

@@ -11,10 +11,12 @@ package experiments
 // baseline structures.
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"stbpu/internal/core"
+	"stbpu/internal/harness"
 	"stbpu/internal/sim"
 	"stbpu/internal/stats"
 )
@@ -50,42 +52,66 @@ func ittageWorkloads() []string {
 	}
 }
 
-// RunITTAGE measures the four variants.
-func RunITTAGE(s Scale) (ITTAGEResult, error) {
-	names := capList(ittageWorkloads(), s.MaxWorkloads)
-	rows := make([]ITTAGERow, len(names))
-	errs := make([]error, len(names))
-	parallelFor(len(names), func(i int) {
-		tr, _, err := genTrace(names[i], s)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		models := []sim.Model{
-			&sim.UnitModel{ModelName: "btb-only", Unit: core.NewUnprotectedUnit(core.DirSKLCond)},
-			&sim.UnitModel{ModelName: "btb+ittage", Unit: core.NewUnprotectedUnitITTAGE(core.DirSKLCond)},
-			&sim.STBPUModel{Inner: core.NewModel(core.ModelConfig{Dir: core.DirSKLCond, Seed: 7})},
-			&sim.STBPUModel{Inner: core.NewModel(core.ModelConfig{Dir: core.DirSKLCond, Seed: 7, IndirectITTAGE: true})},
-		}
-		row := ITTAGERow{Workload: names[i]}
-		for v, m := range models {
-			res := sim.Run(m, tr)
-			row.TargetRate[v] = res.TargetRate()
-			row.OAE[v] = res.OAE()
-		}
-		rows[i] = row
-	})
-	for _, err := range errs {
-		if err != nil {
-			return ITTAGEResult{}, err
-		}
+// newITTAGEVariant builds comparison variant v (ITTAGEVariants order).
+func newITTAGEVariant(v int, seed uint64) sim.Model {
+	switch v {
+	case 0:
+		return &sim.UnitModel{ModelName: "btb-only", Unit: core.NewUnprotectedUnit(core.DirSKLCond)}
+	case 1:
+		return &sim.UnitModel{ModelName: "btb+ittage", Unit: core.NewUnprotectedUnitITTAGE(core.DirSKLCond)}
+	case 2:
+		return &sim.STBPUModel{Inner: core.NewModel(core.ModelConfig{Dir: core.DirSKLCond, Seed: seed})}
+	default:
+		return &sim.STBPUModel{Inner: core.NewModel(core.ModelConfig{Dir: core.DirSKLCond, Seed: seed, IndirectITTAGE: true})}
 	}
-	var res ITTAGEResult
-	res.Rows = rows
-	for v := 0; v < 4; v++ {
-		tr := make([]float64, len(rows))
-		oae := make([]float64, len(rows))
-		for i, r := range rows {
+}
+
+// ittageCell is one (workload, variant) measurement.
+type ittageCell struct {
+	targetRate, oae float64
+}
+
+// RunITTAGE measures the four variants on the default pool.
+func RunITTAGE(s Scale) (ITTAGEResult, error) {
+	return RunITTAGECtx(context.Background(), s.Params(), harness.Default())
+}
+
+// RunITTAGECtx measures the four variants, sharding (workload × variant)
+// cells.
+func RunITTAGECtx(ctx context.Context, p harness.Params, pool *harness.Pool) (ITTAGEResult, error) {
+	s := scaleOf(p)
+	names := capList(ittageWorkloads(), s.MaxWorkloads)
+	var cache traceCache
+	const nv = 4
+	cells, err := harness.Map(ctx, pool, "ittage", len(names)*nv,
+		func(ctx context.Context, shard int, seed uint64) (ittageCell, error) {
+			w, v := shard/nv, shard%nv
+			tr, _, err := cache.get(names[w], s.Records)
+			if err != nil {
+				return ittageCell{}, err
+			}
+			res, err := sim.RunCtx(ctx, newITTAGEVariant(v, seed), tr)
+			if err != nil {
+				return ittageCell{}, err
+			}
+			return ittageCell{targetRate: res.TargetRate(), oae: res.OAE()}, nil
+		})
+	if err != nil {
+		return ITTAGEResult{}, err
+	}
+	res := ITTAGEResult{Rows: make([]ITTAGERow, len(names))}
+	for w := range names {
+		row := ITTAGERow{Workload: names[w]}
+		for v := 0; v < nv; v++ {
+			row.TargetRate[v] = cells[w*nv+v].targetRate
+			row.OAE[v] = cells[w*nv+v].oae
+		}
+		res.Rows[w] = row
+	}
+	for v := 0; v < nv; v++ {
+		tr := make([]float64, len(res.Rows))
+		oae := make([]float64, len(res.Rows))
+		for i, r := range res.Rows {
 			tr[i] = r.TargetRate[v]
 			oae[i] = r.OAE[v]
 		}

@@ -1,0 +1,121 @@
+package experiments
+
+// Scenario registration: every experiment driver in this package is a
+// named harness.Scenario, so CLIs (stbpu-suite, stbpu-bench) and tests
+// run them uniformly through the parallel engine. Importing this package
+// populates the registry.
+
+import (
+	"context"
+
+	"stbpu/internal/harness"
+)
+
+// defaultScaleParams is the historical stbpu-bench default scale.
+func defaultScaleParams() harness.Params {
+	return harness.Params{Records: 120_000}
+}
+
+func init() {
+	harness.Register(harness.Scenario{
+		Name:        "fig3",
+		Description: "Fig. 3 trace-driven OAE comparison of the five protection models",
+		Defaults:    defaultScaleParams(),
+		Run: func(ctx context.Context, p harness.Params, pool *harness.Pool) (any, error) {
+			return RunFig3Ctx(ctx, p, pool)
+		},
+	})
+	harness.Register(harness.Scenario{
+		Name:        "fig4",
+		Description: "Fig. 4 single-workload CPU evaluation (prediction reductions, normalized IPC)",
+		Defaults:    defaultScaleParams(),
+		Run: func(ctx context.Context, p harness.Params, pool *harness.Pool) (any, error) {
+			return RunFig4Ctx(ctx, p, pool)
+		},
+	})
+	harness.Register(harness.Scenario{
+		Name:        "fig5",
+		Description: "Fig. 5 SMT pair evaluation",
+		Defaults:    defaultScaleParams(),
+		Run: func(ctx context.Context, p harness.Params, pool *harness.Pool) (any, error) {
+			return RunFig5Ctx(ctx, p, pool)
+		},
+	})
+	harness.Register(harness.Scenario{
+		Name:        "fig6",
+		Description: "Fig. 6 aggressive re-randomization sweep",
+		Defaults: harness.Params{
+			Records: 120_000, Sweep: DefaultFig6Sweep(),
+		},
+		Run: func(ctx context.Context, p harness.Params, pool *harness.Pool) (any, error) {
+			return RunFig6Ctx(ctx, p, pool)
+		},
+	})
+	harness.Register(harness.Scenario{
+		Name:        "thresholds",
+		Description: "§VI-A.5 attack complexities and re-randomization thresholds",
+		Defaults:    harness.Params{R: 0.05},
+		Run: func(ctx context.Context, p harness.Params, pool *harness.Pool) (any, error) {
+			return RunThresholds(p.R), nil
+		},
+	})
+	harness.Register(harness.Scenario{
+		Name:        "gamma",
+		Description: "Γ sweep: epoch success probability vs attack-difficulty factor r",
+		Defaults:    harness.Params{Sweep: DefaultGammaSweep()},
+		Run: func(ctx context.Context, p harness.Params, pool *harness.Pool) (any, error) {
+			return RunGamma(p.Sweep), nil
+		},
+	})
+	harness.Register(harness.Scenario{
+		Name:        "tablei",
+		Description: "Table I attack surface against baseline and STBPU",
+		Defaults:    harness.Params{Budget: 20_000},
+		Run: func(ctx context.Context, p harness.Params, pool *harness.Pool) (any, error) {
+			return RunTableICtx(ctx, p, pool)
+		},
+	})
+	harness.Register(harness.Scenario{
+		Name:        "defense-accuracy",
+		Description: "§VIII related-work head-to-head: OAE retention across the defense lineup",
+		Defaults:    defaultScaleParams(),
+		Run: func(ctx context.Context, p harness.Params, pool *harness.Pool) (any, error) {
+			return RunDefenseAccuracyCtx(ctx, p, pool)
+		},
+	})
+	harness.Register(harness.Scenario{
+		Name:        "defense-matrix",
+		Description: "§VIII related-work head-to-head: attack-outcome matrix per Table I class",
+		Defaults:    harness.Params{Trials: matrixRuns},
+		Run: func(ctx context.Context, p harness.Params, pool *harness.Pool) (any, error) {
+			return RunDefenseMatrixCtx(ctx, p, pool)
+		},
+	})
+	harness.Register(harness.Scenario{
+		Name:        "covert",
+		Description: "PHT covert-channel capacity across the defense lineup",
+		Defaults:    harness.Params{Bits: 512, Trials: matrixRuns},
+		Run: func(ctx context.Context, p harness.Params, pool *harness.Pool) (any, error) {
+			return RunCovertComparisonCtx(ctx, p, pool)
+		},
+	})
+	harness.Register(harness.Scenario{
+		Name:        "ittage",
+		Description: "ITTAGE indirect-predictor extension comparison",
+		Defaults:    defaultScaleParams(),
+		Run: func(ctx context.Context, p harness.Params, pool *harness.Pool) (any, error) {
+			return RunITTAGECtx(ctx, p, pool)
+		},
+	})
+	harness.Register(harness.Scenario{
+		Name:        "warmup",
+		Description: "warm-state curve: flush penalty vs trace length",
+		Defaults: harness.Params{
+			Workload: "mysql_128con_50s",
+			Sweep:    DefaultWarmupSweep(),
+		},
+		Run: func(ctx context.Context, p harness.Params, pool *harness.Pool) (any, error) {
+			return RunWarmupCtx(ctx, p, pool)
+		},
+	})
+}

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"stbpu/internal/attacks"
+	"stbpu/internal/harness"
 )
 
 // TableIRow is one attack-surface cell: the same driver run against the
@@ -21,14 +23,15 @@ type TableIResult struct {
 	Rows []TableIRow
 }
 
-// RunTableI executes the attack surface against both models. budget bounds
-// the STBPU-side scans (baseline attacks are deterministic).
-func RunTableI(budget int) TableIResult {
-	type driver struct {
-		name, cell string
-		run        func(t *attacks.Target, budget int) attacks.Result
-	}
-	drivers := []driver{
+// tableIDriver is one attack-surface entry.
+type tableIDriver struct {
+	name, cell string
+	run        func(t *attacks.Target, budget int) attacks.Result
+}
+
+// tableIDrivers enumerates the surface.
+func tableIDrivers() []tableIDriver {
+	return []tableIDriver{
 		{"BTB reuse side channel", "RB-HE", func(t *attacks.Target, b int) attacks.Result {
 			return attacks.BTBReuseSideChannel(t, b)
 		}},
@@ -63,14 +66,44 @@ func RunTableI(budget int) TableIResult {
 			return attacks.DoSEviction(t, 50, 16)
 		}},
 	}
-	var res TableIResult
-	for _, d := range drivers {
-		row := TableIRow{Attack: d.name, Cell: d.cell}
-		row.Baseline = d.run(attacks.NewBaselineTarget(), 64)
-		row.STBPU = d.run(attacks.NewSTBPUTarget(nil), budget)
-		res.Rows = append(res.Rows, row)
-	}
+}
+
+// baselineAttackBudget bounds the baseline-side scans (baseline attacks
+// are deterministic, so a small budget suffices).
+const baselineAttackBudget = 64
+
+// RunTableI executes the attack surface against both models on the
+// default pool. budget bounds the STBPU-side scans.
+func RunTableI(budget int) TableIResult {
+	res, _ := RunTableICtx(context.Background(),
+		harness.Params{Budget: budget}, harness.Default())
 	return res
+}
+
+// RunTableICtx executes the surface, sharding (attack × model) cells.
+func RunTableICtx(ctx context.Context, p harness.Params, pool *harness.Pool) (TableIResult, error) {
+	drivers := tableIDrivers()
+	cells, err := harness.Map(ctx, pool, "tablei", len(drivers)*2,
+		func(ctx context.Context, shard int, seed uint64) (attacks.Result, error) {
+			d := drivers[shard/2]
+			if shard%2 == 0 {
+				return d.run(attacks.NewBaselineTarget(), baselineAttackBudget), nil
+			}
+			return d.run(attacks.NewSTBPUTargetSeeded(nil, seed), p.Budget), nil
+		})
+	if err != nil {
+		return TableIResult{}, err
+	}
+	var res TableIResult
+	for i, d := range drivers {
+		res.Rows = append(res.Rows, TableIRow{
+			Attack:   d.name,
+			Cell:     d.cell,
+			Baseline: cells[2*i],
+			STBPU:    cells[2*i+1],
+		})
+	}
+	return res, nil
 }
 
 // Render writes the table.

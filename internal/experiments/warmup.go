@@ -10,11 +10,12 @@ package experiments
 // real-binary state sizes recovers the paper's 0.77-0.88 averages.
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"stbpu/internal/harness"
 	"stbpu/internal/sim"
-	"stbpu/internal/trace"
 )
 
 // WarmupPoint is one trace-length measurement.
@@ -30,42 +31,69 @@ type WarmupResult struct {
 	Points   []WarmupPoint
 }
 
-// RunWarmup measures the Fig. 3 lineup across increasing trace lengths on
-// one switch-heavy workload.
-func RunWarmup(workload string, lengths []int) (WarmupResult, error) {
-	if len(lengths) == 0 {
-		lengths = []int{10_000, 40_000, 160_000}
+// DefaultWarmupLengths is the trace-length axis of the curve.
+func DefaultWarmupLengths() []int { return []int{10_000, 40_000, 160_000} }
+
+// DefaultWarmupSweep is DefaultWarmupLengths as a harness.Params sweep.
+func DefaultWarmupSweep() []float64 {
+	lengths := DefaultWarmupLengths()
+	sweep := make([]float64, len(lengths))
+	for i, l := range lengths {
+		sweep[i] = float64(l)
 	}
-	res := WarmupResult{Workload: workload}
-	prof, err := trace.Preset(workload)
+	return sweep
+}
+
+// RunWarmup measures the Fig. 3 lineup across increasing trace lengths on
+// one switch-heavy workload, on the default pool.
+func RunWarmup(workload string, lengths []int) (WarmupResult, error) {
+	sweep := make([]float64, len(lengths))
+	for i, l := range lengths {
+		sweep[i] = float64(l)
+	}
+	return RunWarmupCtx(context.Background(),
+		harness.Params{Workload: workload, Sweep: sweep}, harness.Default())
+}
+
+// RunWarmupCtx measures the curve, sharding (length × model) cells.
+// p.Workload names the trace preset; p.Sweep carries the trace lengths.
+func RunWarmupCtx(ctx context.Context, p harness.Params, pool *harness.Pool) (WarmupResult, error) {
+	lengths := make([]int, 0, len(p.Sweep))
+	for _, l := range p.Sweep {
+		lengths = append(lengths, int(l))
+	}
+	if len(lengths) == 0 {
+		lengths = DefaultWarmupLengths()
+	}
+	res := WarmupResult{Workload: p.Workload}
+	kinds := sim.Fig3Kinds()
+	var cache traceCache
+	k := len(kinds)
+	oaes, err := harness.Map(ctx, pool, "warmup", len(lengths)*k,
+		func(ctx context.Context, shard int, seed uint64) (float64, error) {
+			li, ki := shard/k, shard%k
+			tr, prof, err := cache.get(p.Workload, lengths[li])
+			if err != nil {
+				return 0, err
+			}
+			m := sim.New(kinds[ki], sim.Options{SharedTokens: prof.SharedTokens, Seed: seed})
+			r, err := sim.RunCtx(ctx, m, tr)
+			if err != nil {
+				return 0, err
+			}
+			return r.OAE(), nil
+		})
 	if err != nil {
 		return WarmupResult{}, err
 	}
-	points := make([]WarmupPoint, len(lengths))
-	errs := make([]error, len(lengths))
-	parallelFor(len(lengths), func(i int) {
-		tr, err := trace.Generate(prof.WithRecords(lengths[i]))
-		if err != nil {
-			errs[i] = err
-			return
+	res.Points = make([]WarmupPoint, len(lengths))
+	for li := range lengths {
+		pt := WarmupPoint{Records: lengths[li]}
+		for ki := 0; ki < k; ki++ {
+			pt.NormOAE[ki] = oaes[li*k+ki] / oaes[li*k]
 		}
-		pt := WarmupPoint{Records: lengths[i]}
-		var oae [5]float64
-		for k, kind := range sim.Fig3Kinds() {
-			m := sim.New(kind, sim.Options{SharedTokens: prof.SharedTokens, Seed: 7})
-			oae[k] = sim.Run(m, tr).OAE()
-		}
-		for k := range oae {
-			pt.NormOAE[k] = oae[k] / oae[0]
-		}
-		points[i] = pt
-	})
-	for _, err := range errs {
-		if err != nil {
-			return WarmupResult{}, err
-		}
+		res.Points[li] = pt
 	}
-	res.Points = points
 	return res, nil
 }
 

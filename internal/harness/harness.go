@@ -1,0 +1,281 @@
+// Package harness is the scenario registry and parallel execution engine
+// behind every experiment driver in this repository. An experiment is
+// registered once as a named, parameterized Scenario; the engine shards
+// its (model × workload × trial) cell space across a worker pool and
+// reassembles results in shard order, so a run is bit-identical at any
+// worker count.
+//
+// Determinism contract: every stochastic input of a cell derives from
+// ShardSeed(rootSeed, scope, shard) — a pure function of the pool's root
+// seed, the scenario-local scope name, and the cell's dense index. Worker
+// scheduling can reorder *execution* but never *results*: Map writes each
+// cell's value into its own slot and aggregation walks slots in index
+// order.
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stbpu/internal/rng"
+)
+
+// Params is the union of knobs scenarios accept. Zero values mean "use the
+// scenario default" (see Merged); scenarios read only the fields they
+// document.
+type Params struct {
+	// Records is the per-workload trace length.
+	Records int `json:"records,omitempty"`
+	// MaxWorkloads caps the workload list (0 = all).
+	MaxWorkloads int `json:"max_workloads,omitempty"`
+	// MaxPairs caps the SMT pair list (0 = all).
+	MaxPairs int `json:"max_pairs,omitempty"`
+	// Trials is the per-cell repetition count for randomized measurements.
+	Trials int `json:"trials,omitempty"`
+	// Budget bounds attack-driver scans.
+	Budget int `json:"budget,omitempty"`
+	// Bits is the covert-channel message length.
+	Bits int `json:"bits,omitempty"`
+	// R is the attack-difficulty factor for threshold derivation.
+	R float64 `json:"r,omitempty"`
+	// Sweep is a scenario-specific axis (r values, trace lengths, ...).
+	Sweep []float64 `json:"sweep,omitempty"`
+	// Workload names a single-workload scenario's trace preset.
+	Workload string `json:"workload,omitempty"`
+}
+
+// Merged fills p's zero fields from def and returns the result.
+func (p Params) Merged(def Params) Params {
+	if p.Records == 0 {
+		p.Records = def.Records
+	}
+	if p.MaxWorkloads == 0 {
+		p.MaxWorkloads = def.MaxWorkloads
+	}
+	if p.MaxPairs == 0 {
+		p.MaxPairs = def.MaxPairs
+	}
+	if p.Trials == 0 {
+		p.Trials = def.Trials
+	}
+	if p.Budget == 0 {
+		p.Budget = def.Budget
+	}
+	if p.Bits == 0 {
+		p.Bits = def.Bits
+	}
+	if p.R == 0 {
+		p.R = def.R
+	}
+	if len(p.Sweep) == 0 {
+		p.Sweep = def.Sweep
+	}
+	if p.Workload == "" {
+		p.Workload = def.Workload
+	}
+	return p
+}
+
+// DefaultRootSeed seeds runs that don't specify one. Any value works; this
+// one is fixed so default runs are comparable across machines.
+const DefaultRootSeed uint64 = 0x57b9c0ffee
+
+// ShardSeed derives the RNG seed for one cell. It depends only on the root
+// seed, the scope name, and the shard index — never on worker count or
+// scheduling — so results are reproducible at any parallelism.
+func ShardSeed(root uint64, scope string, shard int) uint64 {
+	s := root ^ fnv1a(scope)
+	rng.SplitMix64(&s)
+	s ^= uint64(shard) * 0x9e3779b97f4a7c15
+	return rng.SplitMix64(&s)
+}
+
+func fnv1a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Cell is one completed unit of work, streamed to the pool's observer as
+// workers finish (completion order, not shard order).
+type Cell struct {
+	// Scope is the scenario-local cell-space name passed to Map.
+	Scope string
+	// Shard is the cell's dense index within the scope.
+	Shard int
+	// Seed is the derived per-cell RNG seed.
+	Seed uint64
+	// Elapsed is the cell's wall-clock time.
+	Elapsed time.Duration
+	// Err is the cell's error, if any.
+	Err error
+}
+
+// Pool is a sized worker pool with a root seed. It carries no goroutines
+// of its own; Map spins workers up per call, so an idle Pool costs
+// nothing and one Pool can serve many sequential scenarios.
+type Pool struct {
+	workers  int
+	rootSeed uint64
+
+	mu       sync.Mutex
+	observer func(Cell)
+
+	cells atomic.Uint64
+}
+
+// NewPool returns a pool running up to workers cells concurrently
+// (workers <= 0 means GOMAXPROCS) with the given root seed.
+func NewPool(workers int, rootSeed uint64) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, rootSeed: rootSeed}
+}
+
+// Default returns a GOMAXPROCS-wide pool with DefaultRootSeed.
+func Default() *Pool { return NewPool(0, DefaultRootSeed) }
+
+// Workers reports the pool's concurrency.
+func (p *Pool) Workers() int { return p.workers }
+
+// RootSeed reports the pool's root seed.
+func (p *Pool) RootSeed() uint64 { return p.rootSeed }
+
+// Cells reports how many cells the pool has completed since creation.
+func (p *Pool) Cells() uint64 { return p.cells.Load() }
+
+// SetObserver installs fn to receive every completed Cell (nil removes
+// it). Calls are serialized; fn must not block for long.
+func (p *Pool) SetObserver(fn func(Cell)) {
+	p.mu.Lock()
+	p.observer = fn
+	p.mu.Unlock()
+}
+
+func (p *Pool) observe(c Cell) {
+	// The observer is invoked under the lock so calls are serialized as
+	// SetObserver documents — observers may append to plain slices or
+	// write to shared sinks without their own locking.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.observer != nil {
+		p.observer(c)
+	}
+}
+
+// Map runs fn over the n-cell space named scope on the pool's workers and
+// returns the results in shard order. Each cell receives its ShardSeed.
+// The first error (lowest shard index) cancels the remaining cells and is
+// returned; a canceled ctx stops workers promptly and returns ctx.Err().
+func Map[T any](ctx context.Context, p *Pool, scope string, n int, fn func(ctx context.Context, shard int, seed uint64) (T, error)) ([]T, error) {
+	if p == nil {
+		p = Default()
+	}
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+
+	runCell := func(ctx context.Context, i int) error {
+		seed := ShardSeed(p.rootSeed, scope, i)
+		start := time.Now()
+		v, err := fn(ctx, i, seed)
+		out[i] = v
+		p.cells.Add(1)
+		p.observe(Cell{Scope: scope, Shard: i, Seed: seed, Elapsed: time.Since(start), Err: err})
+		return err
+	}
+
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := runCell(ctx, i); err != nil {
+				return nil, fmt.Errorf("%s shard %d: %w", scope, i, err)
+			}
+		}
+		return out, nil
+	}
+
+	outer := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	jobs := make(chan int)
+	go func() {
+		defer close(jobs)
+		for i := 0; i < n; i++ {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				if errs[i] = runCell(ctx, i); errs[i] != nil {
+					cancel() // stop handing out further shards
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Report the lowest-indexed *root-cause* error: once a cell fails we
+	// cancel the inner context, so lower-indexed cells still in flight
+	// abort with context.Canceled — those are collateral, not the cause,
+	// as long as the caller's context is still live.
+	var collateral error
+	collateralShard := -1
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) && outer.Err() == nil {
+			if collateral == nil {
+				collateral, collateralShard = err, i
+			}
+			continue
+		}
+		return nil, fmt.Errorf("%s shard %d: %w", scope, i, err)
+	}
+	if err := outer.Err(); err != nil {
+		return nil, err
+	}
+	if collateral != nil {
+		return nil, fmt.Errorf("%s shard %d: %w", scope, collateralShard, collateral)
+	}
+	return out, nil
+}

@@ -1,0 +1,232 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestShardSeedDeterministicAndDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, scope := range []string{"fig3", "fig4", "covert"} {
+		for shard := 0; shard < 1000; shard++ {
+			s := ShardSeed(1, scope, shard)
+			if s != ShardSeed(1, scope, shard) {
+				t.Fatalf("ShardSeed(%q, %d) not stable", scope, shard)
+			}
+			key := fmt.Sprintf("%s/%d", scope, shard)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %s and %s both map to %#x", prev, key, s)
+			}
+			seen[s] = key
+		}
+	}
+	if ShardSeed(1, "fig3", 0) == ShardSeed(2, "fig3", 0) {
+		t.Error("root seed does not feed into shard seeds")
+	}
+}
+
+func TestParamsMerged(t *testing.T) {
+	def := Params{Records: 100, Trials: 4, R: 0.05, Sweep: []float64{1, 2}, Workload: "w"}
+	got := Params{Records: 7}.Merged(def)
+	want := Params{Records: 7, Trials: 4, R: 0.05, Sweep: []float64{1, 2}, Workload: "w"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Merged = %+v, want %+v", got, want)
+	}
+	if full := def.Merged(Params{Records: 9}); !reflect.DeepEqual(full, def) {
+		t.Errorf("set fields overwritten: %+v", full)
+	}
+}
+
+func TestMapOrderIndependentOfWorkers(t *testing.T) {
+	const n = 100
+	run := func(workers int) []uint64 {
+		p := NewPool(workers, 42)
+		out, err := Map(context.Background(), p, "order", n,
+			func(ctx context.Context, shard int, seed uint64) (uint64, error) {
+				return seed ^ uint64(shard), nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return out
+	}
+	serial := run(1)
+	for _, w := range []int{2, 4, 16} {
+		if got := run(w); !reflect.DeepEqual(got, serial) {
+			t.Errorf("workers=%d produced different results than serial", w)
+		}
+	}
+}
+
+func TestMapReturnsLowestShardError(t *testing.T) {
+	p := NewPool(4, 1)
+	sentinel := errors.New("boom")
+	_, err := Map(context.Background(), p, "err", 32,
+		func(ctx context.Context, shard int, seed uint64) (int, error) {
+			if shard == 3 || shard == 20 {
+				return 0, fmt.Errorf("shard %d: %w", shard, sentinel)
+			}
+			return shard, nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	// Shard 3 always completes (every worker count covers it before 20
+	// can finish), so the deterministic lowest-index error is reported.
+	if want := "err shard 3:"; err == nil || len(err.Error()) < len(want) || err.Error()[:len(want)] != want {
+		t.Errorf("err = %q, want prefix %q", err, want)
+	}
+}
+
+func TestMapRootCauseErrorNotMaskedByCollateralCancellation(t *testing.T) {
+	// Shard 0 only aborts because shard 1's real failure cancels the
+	// inner context; Map must report shard 1's error, not shard 0's
+	// collateral context.Canceled.
+	p := NewPool(2, 1)
+	sentinel := errors.New("root cause")
+	_, err := Map(context.Background(), p, "mask", 2,
+		func(ctx context.Context, shard int, seed uint64) (int, error) {
+			if shard == 0 {
+				<-ctx.Done()
+				return 0, ctx.Err()
+			}
+			return 0, sentinel
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the root-cause error", err)
+	}
+}
+
+func TestMapCancellationStopsWorkersPromptly(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers, 1)
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int32
+		done := make(chan error, 1)
+		go func() {
+			_, err := Map(ctx, p, "cancel", 1000,
+				func(ctx context.Context, shard int, seed uint64) (int, error) {
+					started.Add(1)
+					<-ctx.Done() // a cell that only finishes under cancellation
+					return 0, ctx.Err()
+				})
+			done <- err
+		}()
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("workers=%d: Map did not return after cancel", workers)
+		}
+		if int(started.Load()) > workers {
+			t.Errorf("workers=%d: %d cells started after cancel", workers, started.Load())
+		}
+	}
+}
+
+func TestMapObserverStreamsEveryCell(t *testing.T) {
+	p := NewPool(4, 9)
+	var cells atomic.Int64
+	p.SetObserver(func(c Cell) {
+		if c.Scope != "obs" {
+			t.Errorf("cell scope = %q", c.Scope)
+		}
+		cells.Add(1)
+	})
+	if _, err := Map(context.Background(), p, "obs", 50,
+		func(ctx context.Context, shard int, seed uint64) (int, error) { return shard, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if cells.Load() != 50 {
+		t.Errorf("observer saw %d cells, want 50", cells.Load())
+	}
+	if p.Cells() != 50 {
+		t.Errorf("pool counted %d cells, want 50", p.Cells())
+	}
+}
+
+func TestMapZeroCells(t *testing.T) {
+	out, err := Map(context.Background(), NewPool(4, 1), "empty", 0,
+		func(ctx context.Context, shard int, seed uint64) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Map(0) = %v, %v", out, err)
+	}
+}
+
+func TestRegistryAndRunAll(t *testing.T) {
+	// Use unique names so this test composes with the experiments
+	// package's init registrations in external test binaries.
+	Register(Scenario{
+		Name:        "_test-a",
+		Description: "registry test scenario",
+		Defaults:    Params{Trials: 3},
+		Run: func(ctx context.Context, p Params, pool *Pool) (any, error) {
+			return Map(ctx, pool, "_test-a", p.Trials,
+				func(ctx context.Context, shard int, seed uint64) (int, error) {
+					return shard, nil
+				})
+		},
+	})
+	Register(Scenario{
+		Name: "_test-b",
+		Run: func(ctx context.Context, p Params, pool *Pool) (any, error) {
+			return "b", nil
+		},
+	})
+
+	if _, ok := Get("_test-a"); !ok {
+		t.Fatal("Get missed a registered scenario")
+	}
+	scens, err := Match([]string{"_test-*"})
+	if err != nil || len(scens) != 2 {
+		t.Fatalf("Match = %d scenarios, err %v", len(scens), err)
+	}
+	if _, err := Match([]string{"no-such-scenario"}); err == nil {
+		t.Error("Match accepted an unmatched filter")
+	}
+
+	pool := NewPool(2, 7)
+	reports, err := RunAll(context.Background(), pool, Options{Filters: []string{"_test-a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	rep := reports[0]
+	if rep.Scenario != "_test-a" || rep.Seed != 7 || rep.Workers != 2 {
+		t.Errorf("report metadata wrong: %+v", rep)
+	}
+	if rep.Params.Trials != 3 {
+		t.Errorf("defaults not merged: %+v", rep.Params)
+	}
+	if rep.Cells != 3 {
+		t.Errorf("cells = %d, want 3", rep.Cells)
+	}
+	if rep.ElapsedMS != 0 {
+		t.Errorf("timing recorded without Timing option: %d", rep.ElapsedMS)
+	}
+	got, ok := rep.Result.([]int)
+	if !ok || !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("result = %#v", rep.Result)
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register(Scenario{Name: "_dup", Run: func(ctx context.Context, p Params, pool *Pool) (any, error) { return nil, nil }})
+	Register(Scenario{Name: "_dup", Run: func(ctx context.Context, p Params, pool *Pool) (any, error) { return nil, nil }})
+}

@@ -3,21 +3,31 @@ package remap
 import (
 	"bytes"
 	"strings"
+	"sync"
 	"testing"
 
 	"stbpu/internal/rng"
 )
 
+var (
+	testCircuitOnce sync.Once
+	testCircuit     *Circuit
+	testCircuitErr  error
+)
+
 // genTestCircuit produces a valid generated circuit for serialization
-// tests.
+// tests. Generation costs seconds, so the (deterministic, read-only)
+// circuit is built once and shared across tests.
 func genTestCircuit(t *testing.T) *Circuit {
 	t.Helper()
-	cfg := GenConfig{InBits: 40, OutBits: 14, Seed: 99}
-	c, _, err := Generate(cfg)
-	if err != nil {
-		t.Fatalf("generate: %v", err)
+	testCircuitOnce.Do(func() {
+		cfg := GenConfig{InBits: 40, OutBits: 14, Seed: 99}
+		testCircuit, _, testCircuitErr = Generate(cfg)
+	})
+	if testCircuitErr != nil {
+		t.Fatalf("generate: %v", testCircuitErr)
 	}
-	return c
+	return testCircuit
 }
 
 func TestCircuitMarshalRoundTrip(t *testing.T) {

@@ -15,6 +15,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"stbpu/internal/bpu"
@@ -75,11 +76,28 @@ func (r Result) TargetRate() float64 { return stats.Ratio(r.TargetCorrect, r.Tar
 
 // Run replays a trace through a model.
 func Run(m Model, tr *trace.Trace) Result {
+	res, _ := RunCtx(context.Background(), m, tr)
+	return res
+}
+
+// runCheckInterval is how many records RunCtx replays between context
+// checks: coarse enough to cost nothing, fine enough that cancellation
+// lands within a fraction of a millisecond.
+const runCheckInterval = 8192
+
+// RunCtx replays a trace through a model, aborting with ctx.Err() when the
+// context is canceled mid-replay.
+func RunCtx(ctx context.Context, m Model, tr *trace.Trace) (Result, error) {
 	res := Result{Model: m.Name(), Workload: tr.Name, Records: len(tr.Records)}
 	var prevPID uint32
 	var prevKernel, first bool
 	first = true
-	for _, rec := range tr.Records {
+	for i, rec := range tr.Records {
+		if i%runCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		if !first {
 			if rec.PID != prevPID {
 				res.CtxSwitches++
@@ -119,7 +137,7 @@ func Run(m Model, tr *trace.Trace) Result {
 	if fm, ok := m.(*FlushModel); ok {
 		res.Flushes = fm.flushes
 	}
-	return res
+	return res, nil
 }
 
 // ---------------------------------------------------------------------------

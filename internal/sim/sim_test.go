@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"stbpu/internal/core"
@@ -178,4 +180,26 @@ func tokenThresholds(misp, evict uint64) (th token.Thresholds) {
 	th.Mispredictions = misp
 	th.Evictions = evict
 	return th
+}
+
+func TestRunCtxCanceledMidReplay(t *testing.T) {
+	tr, prof := genTrace(t, "505.mcf", 100_000)
+	m := New(KindSTBPU, Options{SharedTokens: prof.SharedTokens, Seed: 7})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, m, tr); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx on canceled ctx: err = %v, want context.Canceled", err)
+	}
+
+	// An uncanceled context must reproduce Run exactly.
+	m2 := New(KindSTBPU, Options{SharedTokens: prof.SharedTokens, Seed: 7})
+	got, err := RunCtx(context.Background(), m2, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3 := New(KindSTBPU, Options{SharedTokens: prof.SharedTokens, Seed: 7})
+	if want := Run(m3, tr); got != want {
+		t.Error("RunCtx and Run diverge on the same model/trace")
+	}
 }
