@@ -24,6 +24,7 @@ import (
 
 	_ "stbpu/internal/experiments" // scenario registrations
 	"stbpu/internal/harness"
+	"stbpu/internal/tracestore"
 )
 
 func main() {
@@ -45,6 +46,7 @@ func main() {
 		pairs      = flag.Int("pairs", 0, "cap the SMT pair list (0 = all)")
 		seed       = flag.Uint64("seed", harness.DefaultRootSeed, "root seed for all scenario cells")
 		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		cacheB     = flag.Int64("cache-bytes", tracestore.DefaultMaxBytes, "byte budget for the shared cross-run trace store (<=0 = default budget)")
 	)
 	flag.Parse()
 
@@ -72,6 +74,8 @@ func main() {
 	pick(*fig6, "fig6")
 
 	pool := harness.NewPool(*workers, *seed)
+	store := tracestore.New(*cacheB, nil)
+	pool.SetTraceStore(store)
 	params := harness.Params{Records: *records, MaxWorkloads: *workloads, MaxPairs: *pairs}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -97,4 +101,7 @@ func main() {
 		}
 		fmt.Printf("(%s in %v)\n\n", s.Name, time.Since(start).Round(time.Millisecond))
 	}
+	st := store.Stats()
+	fmt.Printf("trace store: %d hits, %d misses, %d generations, %d evictions, %d/%d bytes\n",
+		st.Hits, st.Misses, st.Generations, st.Evictions, st.Bytes, st.MaxBytes)
 }

@@ -25,6 +25,7 @@ import (
 
 	"stbpu/internal/experiments"
 	"stbpu/internal/harness"
+	"stbpu/internal/tracestore"
 )
 
 // suiteDoc is the one-run JSON document.
@@ -35,23 +36,29 @@ type suiteDoc struct {
 	// ElapsedMS is total wall-clock time (0 when -timing=false).
 	ElapsedMS int64            `json:"elapsed_ms"`
 	Runs      []harness.Report `json:"runs"`
+	// TraceStore reports the shared cross-run trace cache's hit/miss/
+	// generation/eviction counters for the whole run.
+	TraceStore tracestore.Stats `json:"trace_store"`
 }
 
 // config carries the parsed CLI knobs; factored out so tests drive the
 // exact code path main uses.
 type config struct {
-	filters []string
-	seed    uint64
-	workers int
-	params  harness.Params
-	timing  bool
-	verbose bool
-	stderr  io.Writer
+	filters    []string
+	seed       uint64
+	workers    int
+	cacheBytes int64
+	params     harness.Params
+	timing     bool
+	verbose    bool
+	stderr     io.Writer
 }
 
 // runSuite executes the selected scenarios and assembles the document.
 func runSuite(ctx context.Context, cfg config) (suiteDoc, error) {
 	pool := harness.NewPool(cfg.workers, cfg.seed)
+	store := tracestore.New(cfg.cacheBytes, nil)
+	pool.SetTraceStore(store)
 	opts := harness.Options{
 		Filters: cfg.filters,
 		Params:  cfg.params,
@@ -71,6 +78,7 @@ func runSuite(ctx context.Context, cfg config) (suiteDoc, error) {
 	for _, r := range reports {
 		doc.ElapsedMS += r.ElapsedMS
 	}
+	doc.TraceStore = store.Stats()
 	return doc, nil
 }
 
@@ -102,6 +110,7 @@ func run() error {
 		bits      = flag.Int("bits", 0, "covert-channel bits (0 = scenario default)")
 		rF        = flag.Float64("r", 0, "attack-difficulty factor (0 = scenario default)")
 		quick     = flag.Bool("quick", false, "use the QuickScale test/benchmark sizing")
+		cacheB    = flag.Int64("cache-bytes", tracestore.DefaultMaxBytes, "byte budget for the shared cross-run trace store (<=0 = default budget)")
 		timing    = flag.Bool("timing", true, "record wall-clock timing (disable for byte-stable output)")
 		verbose   = flag.Bool("v", false, "stream per-cell progress to stderr")
 		out       = flag.String("o", "", "write the JSON document to this file (default stdout)")
@@ -116,11 +125,12 @@ func run() error {
 	}
 
 	cfg := config{
-		seed:    *seed,
-		workers: *workers,
-		timing:  *timing,
-		verbose: *verbose,
-		stderr:  os.Stderr,
+		seed:       *seed,
+		workers:    *workers,
+		cacheBytes: *cacheB,
+		timing:     *timing,
+		verbose:    *verbose,
+		stderr:     os.Stderr,
 		params: harness.Params{
 			Records:      *records,
 			MaxWorkloads: *workloads,

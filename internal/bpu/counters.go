@@ -1,0 +1,47 @@
+package bpu
+
+// Counters accumulates resolution events across a batch of retired
+// branches. Batched replay paths fold each branch's outcome into one
+// shared accumulator instead of returning an Events struct per record,
+// which keeps the hot loop free of per-record result copies.
+type Counters struct {
+	// Mispredicts counts overall effective mispredictions (OAE numerator).
+	Mispredicts uint64
+	// Conds and DirCorrect count conditional branches and correct
+	// directions among them.
+	Conds      uint64
+	DirCorrect uint64
+	// TargetKnown and TargetCorrect count branches whose target needed
+	// prediction and correct targets among them.
+	TargetKnown   uint64
+	TargetCorrect uint64
+	// Evictions counts BTB insertions that displaced a valid entry.
+	Evictions uint64
+	// BTBMisses counts taken branches that missed every target structure.
+	BTBMisses uint64
+}
+
+// Note folds one branch resolution into the counters.
+func (c *Counters) Note(ev Events) {
+	if ev.Mispredict {
+		c.Mispredicts++
+	}
+	if ev.IsCond {
+		c.Conds++
+		if ev.DirCorrect {
+			c.DirCorrect++
+		}
+	}
+	if ev.TargetKnown {
+		c.TargetKnown++
+		if ev.TargetCorrect {
+			c.TargetCorrect++
+		}
+	}
+	if ev.BTBEviction {
+		c.Evictions++
+	}
+	if ev.BTBMiss {
+		c.BTBMisses++
+	}
+}

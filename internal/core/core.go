@@ -342,5 +342,16 @@ func (m *Model) Step(rec trace.Record) (bpu.Prediction, bpu.Events) {
 	return pred, ev
 }
 
+// StepBatch processes a slice of retired branches, folding resolution
+// events into acc in-model — the batched replay path of sim.RunCtx. Each
+// record goes through exactly the Step sequence, so batched and per-record
+// replay are bit-identical.
+func (m *Model) StepBatch(recs []trace.Record, acc *bpu.Counters) {
+	for i := range recs {
+		_, ev := m.Step(recs[i])
+		acc.Note(ev)
+	}
+}
+
 // Rerandomizations reports total token re-randomizations so far.
 func (m *Model) Rerandomizations() uint64 { return m.mgr.Stats().Total() }

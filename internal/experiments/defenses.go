@@ -82,12 +82,12 @@ func RunDefenseAccuracyCtx(ctx context.Context, p harness.Params, pool *harness.
 	s := scaleOf(p)
 	names := capList(defenseWorkloads(), s.MaxWorkloads)
 	res := DefenseAccuracyResult{Models: DefenseModels()}
-	var cache traceCache
+	cache := pool.Traces()
 	k := len(res.Models)
 	oaes, err := harness.Map(ctx, pool, "defense-accuracy", len(names)*k,
 		func(ctx context.Context, shard int, seed uint64) (float64, error) {
 			w, mi := shard/k, shard%k
-			tr, prof, err := cache.get(names[w], s.Records)
+			tr, prof, err := cache.Get(names[w], s.Records)
 			if err != nil {
 				return 0, err
 			}

@@ -59,44 +59,11 @@ func capList[T any](xs []T, n int) []T {
 	return xs
 }
 
-// genTrace builds the synthetic trace for a workload at scale.
-func genTrace(name string, s Scale) (*trace.Trace, trace.Profile, error) {
-	p, err := trace.Preset(name)
-	if err != nil {
-		return nil, trace.Profile{}, err
-	}
-	p = p.WithRecords(s.Records)
-	tr, err := trace.Generate(p)
-	if err != nil {
-		return nil, trace.Profile{}, err
-	}
-	return tr, p, nil
-}
-
-// traceCache deduplicates trace generation across the cells of one
-// scenario run: with (model × workload) sharding every model cell of a
-// workload wants the same trace, and generation is deterministic, so the
-// first cell to arrive builds it and the rest share it read-only.
-type traceCache struct {
-	m sync.Map // "name@records" -> *traceEntry
-}
-
-type traceEntry struct {
-	once sync.Once
-	tr   *trace.Trace
-	prof trace.Profile
-	err  error
-}
-
-func (c *traceCache) get(name string, records int) (*trace.Trace, trace.Profile, error) {
-	key := fmt.Sprintf("%s@%d", name, records)
-	e, _ := c.m.LoadOrStore(key, &traceEntry{})
-	ent := e.(*traceEntry)
-	ent.once.Do(func() {
-		ent.tr, ent.prof, ent.err = genTrace(name, Scale{Records: records})
-	})
-	return ent.tr, ent.prof, ent.err
-}
+// Workload traces come from the pool's shared tracestore.Store: one
+// (workload, records) trace is generated once and shared read-only across
+// every cell of every scenario in the run, with deduplicated generation
+// and a byte-bounded LRU replacing the per-scenario caches each Run*Ctx
+// used to carry.
 
 // ---------------------------------------------------------------------------
 // Fig. 3 — trace-driven OAE comparison of the five protection models.
@@ -127,12 +94,12 @@ func RunFig3Ctx(ctx context.Context, p harness.Params, pool *harness.Pool) (Fig3
 	s := scaleOf(p)
 	names := capList(trace.Fig3Workloads(), s.MaxWorkloads)
 	kinds := sim.Fig3Kinds()
-	var cache traceCache
+	cache := pool.Traces()
 	k := len(kinds)
 	oaes, err := harness.Map(ctx, pool, "fig3", len(names)*k,
 		func(ctx context.Context, shard int, seed uint64) (float64, error) {
 			w, ki := shard/k, shard%k
-			tr, prof, err := cache.get(names[w], s.Records)
+			tr, prof, err := cache.Get(names[w], s.Records)
 			if err != nil {
 				return 0, err
 			}
@@ -250,12 +217,12 @@ func RunFig4Ctx(ctx context.Context, p harness.Params, pool *harness.Pool) (Fig4
 	s := scaleOf(p)
 	names := capList(trace.SPEC18(), s.MaxWorkloads)
 	dirs := Fig4Dirs()
-	var cache traceCache
+	cache := pool.Traces()
 	d := len(dirs)
 	cells, err := harness.Map(ctx, pool, "fig4", len(names)*d,
 		func(ctx context.Context, shard int, seed uint64) (Fig4Cell, error) {
 			w, di := shard/d, shard%d
-			tr, _, err := cache.get(names[w], s.Records)
+			tr, _, err := cache.Get(names[w], s.Records)
 			if err != nil {
 				return Fig4Cell{}, err
 			}
@@ -365,16 +332,16 @@ func RunFig5Ctx(ctx context.Context, p harness.Params, pool *harness.Pool) (Fig5
 	s := scaleOf(p)
 	pairs := capList(trace.SMTPairs(), s.MaxPairs)
 	dirs := Fig4Dirs()
-	var cache traceCache
+	cache := pool.Traces()
 	d := len(dirs)
 	cells, err := harness.Map(ctx, pool, "fig5", len(pairs)*d,
 		func(ctx context.Context, shard int, seed uint64) (Fig4Cell, error) {
 			pi, di := shard/d, shard%d
-			a, _, err := cache.get(pairs[pi][0], s.Records)
+			a, _, err := cache.Get(pairs[pi][0], s.Records)
 			if err != nil {
 				return Fig4Cell{}, err
 			}
-			b, _, err := cache.get(pairs[pi][1], s.Records)
+			b, _, err := cache.Get(pairs[pi][1], s.Records)
 			if err != nil {
 				return Fig4Cell{}, err
 			}
@@ -456,7 +423,7 @@ func RunFig6Ctx(ctx context.Context, p harness.Params, pool *harness.Pool) (Fig6
 		rs = DefaultFig6Sweep()
 	}
 	pairs := capList(trace.SMTPairsExtended(), s.MaxPairs)
-	var cache traceCache
+	cache := pool.Traces()
 	np := len(pairs)
 	// The unprotected TAGE64 baseline depends only on the pair, not on r,
 	// so it is simulated once per pair and shared across the sweep (it is
@@ -471,11 +438,11 @@ func RunFig6Ctx(ctx context.Context, p harness.Params, pool *harness.Pool) (Fig6
 	cells, err := harness.Map(ctx, pool, "fig6", len(rs)*np,
 		func(ctx context.Context, shard int, seed uint64) (fig6Cell, error) {
 			ri, pi := shard/np, shard%np
-			a, _, err := cache.get(pairs[pi][0], s.Records)
+			a, _, err := cache.Get(pairs[pi][0], s.Records)
 			if err != nil {
 				return fig6Cell{}, err
 			}
-			b, _, err := cache.get(pairs[pi][1], s.Records)
+			b, _, err := cache.Get(pairs[pi][1], s.Records)
 			if err != nil {
 				return fig6Cell{}, err
 			}

@@ -81,12 +81,12 @@ func RunITTAGE(s Scale) (ITTAGEResult, error) {
 func RunITTAGECtx(ctx context.Context, p harness.Params, pool *harness.Pool) (ITTAGEResult, error) {
 	s := scaleOf(p)
 	names := capList(ittageWorkloads(), s.MaxWorkloads)
-	var cache traceCache
+	cache := pool.Traces()
 	const nv = 4
 	cells, err := harness.Map(ctx, pool, "ittage", len(names)*nv,
 		func(ctx context.Context, shard int, seed uint64) (ittageCell, error) {
 			w, v := shard/nv, shard%nv
-			tr, _, err := cache.get(names[w], s.Records)
+			tr, _, err := cache.Get(names[w], s.Records)
 			if err != nil {
 				return ittageCell{}, err
 			}

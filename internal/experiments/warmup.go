@@ -67,12 +67,12 @@ func RunWarmupCtx(ctx context.Context, p harness.Params, pool *harness.Pool) (Wa
 	}
 	res := WarmupResult{Workload: p.Workload}
 	kinds := sim.Fig3Kinds()
-	var cache traceCache
+	cache := pool.Traces()
 	k := len(kinds)
 	oaes, err := harness.Map(ctx, pool, "warmup", len(lengths)*k,
 		func(ctx context.Context, shard int, seed uint64) (float64, error) {
 			li, ki := shard/k, shard%k
-			tr, prof, err := cache.get(p.Workload, lengths[li])
+			tr, prof, err := cache.Get(p.Workload, lengths[li])
 			if err != nil {
 				return 0, err
 			}

@@ -16,6 +16,7 @@ import (
 
 	"stbpu/internal/experiments"
 	"stbpu/internal/harness"
+	"stbpu/internal/tracestore"
 )
 
 // quickParams is a reduced QuickScale sized for repeated runs.
@@ -69,6 +70,63 @@ func TestFig3Fig4ByteIdenticalAcrossWorkerCounts(t *testing.T) {
 	}
 	if marshal(f3) == want.fig3 {
 		t.Error("root seed does not influence Fig3 results")
+	}
+}
+
+// TestTraceStoreSharedAcrossScenarioRuns pins the cross-run property the
+// store was extracted for: a second scenario run on the same pool reuses
+// every resident trace instead of regenerating (the per-run caches this
+// replaced generated once per scenario run).
+func TestTraceStoreSharedAcrossScenarioRuns(t *testing.T) {
+	pool := harness.NewPool(2, 7)
+	p := quickParams()
+	if _, err := experiments.RunFig3Ctx(context.Background(), p, pool); err != nil {
+		t.Fatal(err)
+	}
+	first := pool.Traces().Stats()
+	if first.Generations == 0 || first.Hits == 0 {
+		t.Fatalf("first run stats implausible: %+v", first)
+	}
+	if _, err := experiments.RunFig3Ctx(context.Background(), p, pool); err != nil {
+		t.Fatal(err)
+	}
+	second := pool.Traces().Stats()
+	if second.Generations != first.Generations {
+		t.Errorf("second run regenerated traces: generations %d -> %d",
+			first.Generations, second.Generations)
+	}
+	if second.Hits <= first.Hits {
+		t.Errorf("second run did not hit the shared store: hits %d -> %d",
+			first.Hits, second.Hits)
+	}
+}
+
+// TestResultsIdenticalUnderTinyTraceStore is the determinism gate for
+// eviction: a store too small to hold anything forces constant
+// regeneration, and the results must still be byte-identical.
+func TestResultsIdenticalUnderTinyTraceStore(t *testing.T) {
+	run := func(store *tracestore.Store) string {
+		pool := harness.NewPool(3, 0xd15ea5e)
+		if store != nil {
+			pool.SetTraceStore(store)
+		}
+		f3, err := experiments.RunFig3Ctx(context.Background(), quickParams(), pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(f3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	want := run(nil)
+	tiny := tracestore.New(1, nil)
+	if got := run(tiny); got != want {
+		t.Error("results differ between default and always-evicting trace stores")
+	}
+	if st := tiny.Stats(); st.Evictions == 0 {
+		t.Errorf("tiny store never evicted: %+v", st)
 	}
 }
 

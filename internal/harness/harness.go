@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"stbpu/internal/rng"
+	"stbpu/internal/tracestore"
 )
 
 // Params is the union of knobs scenarios accept. Zero values mean "use the
@@ -132,8 +133,44 @@ type Pool struct {
 
 	mu       sync.Mutex
 	observer func(Cell)
+	traces   *tracestore.Store
 
 	cells atomic.Uint64
+}
+
+// sharedTraceStore backs Traces for nil pools (harness.Map's "no pool"
+// convenience path), so even ad-hoc runs share one process-wide cache.
+var (
+	sharedTraceStoreOnce sync.Once
+	sharedTraceStore     *tracestore.Store
+)
+
+// SetTraceStore installs the cross-run trace store scenario cells share
+// (nil reverts to lazy default creation). Call before running scenarios.
+func (p *Pool) SetTraceStore(s *tracestore.Store) {
+	p.mu.Lock()
+	p.traces = s
+	p.mu.Unlock()
+}
+
+// Traces returns the pool's shared trace store, lazily creating one with
+// the default byte budget. Scenarios fetch workload traces through it so
+// one (workload, records) trace is generated once per suite run rather
+// than once per scenario; because generation is deterministic, sharing
+// cannot perturb results (see tracestore's package comment).
+func (p *Pool) Traces() *tracestore.Store {
+	if p == nil {
+		sharedTraceStoreOnce.Do(func() {
+			sharedTraceStore = tracestore.New(0, nil)
+		})
+		return sharedTraceStore
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.traces == nil {
+		p.traces = tracestore.New(0, nil)
+	}
+	return p.traces
 }
 
 // NewPool returns a pool running up to workers cells concurrently

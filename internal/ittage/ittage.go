@@ -18,6 +18,7 @@ package ittage
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"stbpu/internal/bpu"
 )
@@ -97,6 +98,14 @@ type Predictor struct {
 	hist    []uint8
 	histPos int
 
+	// folds[b] is fold(lens[b]) maintained incrementally: OnBranch rotates
+	// the dropping signature out and the new one in, so PredictTarget reads
+	// a precomputed value instead of re-walking lens[b] ring slots per
+	// bank per lookup. rotNew[b] is the constant rotation the newest
+	// signature carries in a lens[b]-deep fold: 5*(lens[b]-1) mod 64.
+	folds  []uint64
+	rotNew []int
+
 	// lookup state consumed by UpdateTarget.
 	lastPC       uint64
 	lastProvider int // bank of the providing entry, -1 = none
@@ -140,6 +149,11 @@ func New(cfg Config) (*Predictor, error) {
 		exp := float64(b) / float64(cfg.Banks-1)
 		p.lens[b] = int(float64(cfg.MinHist)*math.Pow(ratio, exp) + 0.5)
 	}
+	p.folds = make([]uint64, cfg.Banks)
+	p.rotNew = make([]int, cfg.Banks)
+	for b, l := range p.lens {
+		p.rotNew[b] = (5 * (l - 1)) % 64
+	}
 	return p, nil
 }
 
@@ -152,7 +166,9 @@ func (p *Predictor) Lens() []int {
 }
 
 // fold compresses the most recent n history signatures into a 64-bit
-// value (rotate-and-xor, the TAGE circular-shift-register idiom).
+// value (rotate-and-xor, the TAGE circular-shift-register idiom). The hot
+// path reads the incrementally maintained p.folds instead; this recompute
+// form remains as the reference the incremental test checks against.
 func (p *Predictor) fold(n int) uint64 {
 	var f uint64
 	for i := 0; i < n; i++ {
@@ -170,7 +186,7 @@ func (p *Predictor) PredictTarget(pc uint64) (uint32, bool) {
 	p.lastPC = pc
 	p.lastProvider = -1
 	for b := p.cfg.Banks - 1; b >= 0; b-- {
-		idx, tag := p.hasher.ITIndexTag(pc, p.fold(p.lens[b]), b, p.cfg.IndexBits, p.cfg.TagBits)
+		idx, tag := p.hasher.ITIndexTag(pc, p.folds[b], b, p.cfg.IndexBits, p.cfg.TagBits)
 		p.lastIdx[b], p.lastTag[b] = idx, tag
 		if p.lastProvider < 0 {
 			e := &p.banks[b][idx]
@@ -250,7 +266,11 @@ func (p *Predictor) UpdateTarget(pc uint64, stored uint32) {
 }
 
 // OnBranch implements bpu.IndirectPredictor: push one path signature
-// derived from the branch, its target, and its outcome.
+// derived from the branch, its target, and its outcome. Each bank's fold
+// advances incrementally — rotate the signature dropping out of its window
+// away, rotate the whole fold down one step, and mix the new signature in
+// at the window head — which keeps every p.folds[b] equal to what
+// fold(p.lens[b]) would recompute from the ring.
 func (p *Predictor) OnBranch(pc, target uint64, taken bool) {
 	h := pc ^ target>>2 ^ pc>>11
 	h ^= h >> 17
@@ -258,8 +278,14 @@ func (p *Predictor) OnBranch(pc, target uint64, taken bool) {
 	if taken {
 		sig |= 1
 	}
+	n := len(p.hist)
+	for b, l := range p.lens {
+		out := uint64(p.hist[(p.histPos-l+2*n)%n])
+		f := bits.RotateLeft64(p.folds[b]^out, -5)
+		p.folds[b] = f ^ bits.RotateLeft64(uint64(sig), p.rotNew[b])
+	}
 	p.hist[p.histPos] = sig
-	p.histPos = (p.histPos + 1) % len(p.hist)
+	p.histPos = (p.histPos + 1) % n
 }
 
 // Flush implements bpu.IndirectPredictor.
@@ -271,6 +297,9 @@ func (p *Predictor) Flush() {
 	}
 	for i := range p.hist {
 		p.hist[i] = 0
+	}
+	for b := range p.folds {
+		p.folds[b] = 0
 	}
 	p.histPos = 0
 	p.lastProvider = -1

@@ -1,0 +1,50 @@
+package perceptron
+
+import (
+	"testing"
+
+	"stbpu/internal/rng"
+)
+
+const benchMask = 1<<14 - 1
+
+func benchStream() (pcs []uint64, taken []bool) {
+	pcs = make([]uint64, benchMask+1)
+	taken = make([]bool, benchMask+1)
+	s := uint64(0x5eed)
+	for i := range pcs {
+		r := rng.SplitMix64(&s)
+		pcs[i] = 0x400000 + (r%2048)<<2
+		taken[i] = (pcs[i]>>2^uint64(i))&3 != 0 // address/history correlated
+	}
+	return pcs, taken
+}
+
+func benchPredictor(b *testing.B) (*Predictor, []uint64, []bool) {
+	b.Helper()
+	p := New(DefaultConfig())
+	pcs, taken := benchStream()
+	for i := range pcs {
+		p.Predict(pcs[i])
+		p.Update(pcs[i], taken[i])
+	}
+	return p, pcs, taken
+}
+
+func BenchmarkPredict(b *testing.B) {
+	p, pcs, _ := benchPredictor(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Predict(pcs[i&benchMask])
+	}
+}
+
+// BenchmarkUpdate measures the full predict/update training pair.
+func BenchmarkUpdate(b *testing.B) {
+	p, pcs, taken := benchPredictor(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Predict(pcs[i&benchMask])
+		p.Update(pcs[i&benchMask], taken[i&benchMask])
+	}
+}

@@ -86,17 +86,18 @@ func (p *Predictor) Config() Config { return p.cfg }
 // SetIndexFunc swaps the row hash (token re-randomization in ST mode).
 func (p *Predictor) SetIndexFunc(f IndexFunc) { p.index = f }
 
-// Predict implements bpu.DirectionPredictor.
+// Predict implements bpu.DirectionPredictor. The dot product is computed
+// branchlessly: each history bit maps to ±1 via (bit<<1)-1, so the inner
+// loop is pure multiply-accumulate with no per-bit branch to mispredict
+// (ironically the costliest hazard in a branch predictor's own hot loop).
 func (p *Predictor) Predict(pc uint64) bool {
 	idx := p.index(pc) & (1<<p.cfg.TableBits - 1)
 	row := p.weights[idx]
 	sum := int(row[0]) // bias
-	for i := 0; i < p.cfg.HistoryLen; i++ {
-		if p.hist>>uint(i)&1 == 1 {
-			sum += int(row[i+1])
-		} else {
-			sum -= int(row[i+1])
-		}
+	h := p.hist
+	for _, w := range row[1:] {
+		sum += int(w) * (int(h&1)<<1 - 1)
+		h >>= 1
 	}
 	p.lastIdx, p.lastSum, p.lastPC = idx, sum, pc
 	return sum >= 0
@@ -111,9 +112,10 @@ func (p *Predictor) Update(pc uint64, taken bool) {
 	if pred != taken || absInt(p.lastSum) <= p.theta {
 		row := p.weights[p.lastIdx]
 		bump(&row[0], taken)
-		for i := 0; i < p.cfg.HistoryLen; i++ {
-			agrees := (p.hist>>uint(i)&1 == 1) == taken
-			bump(&row[i+1], agrees)
+		h := p.hist
+		for i := 1; i < len(row); i++ {
+			bump(&row[i], (h&1 == 1) == taken)
+			h >>= 1
 		}
 	}
 	p.hist <<= 1

@@ -33,6 +33,26 @@ type Model interface {
 	Step(rec trace.Record) (bpu.Prediction, bpu.Events)
 }
 
+// Counters is the batched event accumulator (see bpu.Counters).
+type Counters = bpu.Counters
+
+// BatchModel is the batched stepping fast path: StepBatch replays a slice
+// of retired branches and folds their resolution events into acc, with no
+// per-record interface dispatch or Events returns. RunCtx uses it when a
+// model implements it and falls back to per-record Step otherwise, so
+// external models keep working unchanged.
+type BatchModel interface {
+	StepBatch(recs []trace.Record, acc *Counters)
+}
+
+// Finalizer lets a model report run-scoped counters (re-randomizations,
+// flushes, ...) into the Result after replay finishes. RunCtx calls it
+// once at the end of a completed run, so new models can extend Result
+// accounting without editing this package.
+type Finalizer interface {
+	Finalize(res *Result)
+}
+
 // Result aggregates one simulation run.
 type Result struct {
 	Model    string
@@ -86,56 +106,58 @@ func Run(m Model, tr *trace.Trace) Result {
 const runCheckInterval = 8192
 
 // RunCtx replays a trace through a model, aborting with ctx.Err() when the
-// context is canceled mid-replay.
+// context is canceled mid-replay. Replay proceeds in runCheckInterval-sized
+// chunks through the model's StepBatch fast path (falling back to the Step
+// shim for models that don't implement BatchModel), with one cancellation
+// check between chunks — the check before the first chunk is the single
+// up-front one, never repeated at record zero.
 func RunCtx(ctx context.Context, m Model, tr *trace.Trace) (Result, error) {
 	res := Result{Model: m.Name(), Workload: tr.Name, Records: len(tr.Records)}
-	var prevPID uint32
-	var prevKernel, first bool
-	first = true
-	for i, rec := range tr.Records {
-		if i%runCheckInterval == 0 {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	recs := tr.Records
+	bm, batched := m.(BatchModel)
+	var acc Counters
+	for start := 0; start < len(recs); start += runCheckInterval {
+		if start > 0 {
 			if err := ctx.Err(); err != nil {
 				return Result{}, err
 			}
 		}
-		if !first {
-			if rec.PID != prevPID {
+		end := start + runCheckInterval
+		if end > len(recs) {
+			end = len(recs)
+		}
+		// Context/mode switch accounting is model-independent: compare
+		// each record against its predecessor across chunk boundaries.
+		from := start
+		if from == 0 {
+			from = 1
+		}
+		for i := from; i < end; i++ {
+			if recs[i].PID != recs[i-1].PID {
 				res.CtxSwitches++
 			}
-			if rec.Kernel != prevKernel {
+			if recs[i].Kernel != recs[i-1].Kernel {
 				res.ModeSwitches++
 			}
 		}
-		prevPID, prevKernel, first = rec.PID, rec.Kernel, false
-
-		_, ev := m.Step(rec)
-		if ev.Mispredict {
-			res.Mispredicts++
-		}
-		if ev.IsCond {
-			res.Conds++
-			if ev.DirCorrect {
-				res.DirCorrect++
+		if batched {
+			bm.StepBatch(recs[start:end], &acc)
+		} else {
+			for i := start; i < end; i++ {
+				_, ev := m.Step(recs[i])
+				acc.Note(ev)
 			}
 		}
-		if ev.TargetKnown {
-			res.TargetKnown++
-			if ev.TargetCorrect {
-				res.TargetCorrect++
-			}
-		}
-		if ev.BTBEviction {
-			res.Evictions++
-		}
-		if ev.BTBMiss {
-			res.BTBMisses++
-		}
 	}
-	if st, ok := m.(*STBPUModel); ok {
-		res.Rerandomizations = st.Inner.Rerandomizations()
-	}
-	if fm, ok := m.(*FlushModel); ok {
-		res.Flushes = fm.flushes
+	res.Mispredicts = acc.Mispredicts
+	res.Conds, res.DirCorrect = acc.Conds, acc.DirCorrect
+	res.TargetKnown, res.TargetCorrect = acc.TargetKnown, acc.TargetCorrect
+	res.Evictions, res.BTBMisses = acc.Evictions, acc.BTBMisses
+	if f, ok := m.(Finalizer); ok {
+		f.Finalize(&res)
 	}
 	return res, nil
 }
@@ -257,6 +279,19 @@ func (m *UnitModel) Step(rec trace.Record) (bpu.Prediction, bpu.Events) {
 	return pred, m.Unit.Update(rec, pred)
 }
 
+// StepBatch implements BatchModel: the same predict/update sequence as
+// Step, with direct method calls and accumulator folding in the loop.
+func (m *UnitModel) StepBatch(recs []trace.Record, acc *Counters) {
+	u := m.Unit
+	for i := range recs {
+		if m.entity != nil {
+			m.entity.setEntity(recs[i])
+		}
+		pred := u.Predict(recs[i].PC, recs[i].Kind)
+		acc.Note(u.Update(recs[i], pred))
+	}
+}
+
 // FlushModel wraps a UnitModel with microcode-style flushing.
 type FlushModel struct {
 	UnitModel
@@ -271,6 +306,12 @@ type FlushModel struct {
 
 // Step implements Model.
 func (m *FlushModel) Step(rec trace.Record) (bpu.Prediction, bpu.Events) {
+	m.maybeFlush(rec)
+	return m.UnitModel.Step(rec)
+}
+
+// maybeFlush applies the microcode barrier policy for one record.
+func (m *FlushModel) maybeFlush(rec trace.Record) {
 	if m.started {
 		if m.OnCtxSwitch && rec.PID != m.prevPID {
 			m.Unit.Flush()
@@ -282,8 +323,25 @@ func (m *FlushModel) Step(rec trace.Record) (bpu.Prediction, bpu.Events) {
 		}
 	}
 	m.prevPID, m.prevKernel, m.started = rec.PID, rec.Kernel, true
-	return m.UnitModel.Step(rec)
 }
+
+// StepBatch implements BatchModel, shadowing the embedded UnitModel fast
+// path so the flush policy still runs per record.
+func (m *FlushModel) StepBatch(recs []trace.Record, acc *Counters) {
+	u := m.Unit
+	for i := range recs {
+		m.maybeFlush(recs[i])
+		if m.entity != nil {
+			m.entity.setEntity(recs[i])
+		}
+		pred := u.Predict(recs[i].PC, recs[i].Kind)
+		acc.Note(u.Update(recs[i], pred))
+	}
+}
+
+// Finalize implements Finalizer: flushing models report their barrier
+// count into the run result.
+func (m *FlushModel) Finalize(res *Result) { res.Flushes = m.flushes }
 
 // STBPUModel adapts core.Model to the Model interface.
 type STBPUModel struct {
@@ -296,6 +354,18 @@ func (m *STBPUModel) Name() string { return m.Inner.Name() }
 // Step implements Model.
 func (m *STBPUModel) Step(rec trace.Record) (bpu.Prediction, bpu.Events) {
 	return m.Inner.Step(rec)
+}
+
+// StepBatch implements BatchModel by delegating to the core model's
+// batched path.
+func (m *STBPUModel) StepBatch(recs []trace.Record, acc *Counters) {
+	m.Inner.StepBatch(recs, acc)
+}
+
+// Finalize implements Finalizer: STBPU models report their
+// re-randomization count into the run result.
+func (m *STBPUModel) Finalize(res *Result) {
+	res.Rerandomizations = m.Inner.Rerandomizations()
 }
 
 // entityMapper is the conservative model's addressing: legacy folds salted

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"stbpu/internal/bpu"
 	"stbpu/internal/core"
 	"stbpu/internal/token"
 	"stbpu/internal/trace"
@@ -175,11 +176,124 @@ func BenchmarkRunSTBPU(b *testing.B) {
 	}
 }
 
+// BenchmarkReplayPath compares the batched StepBatch fast path against the
+// per-record Step shim on the same model and trace — the win the batching
+// refactor must show.
+func BenchmarkReplayPath(b *testing.B) {
+	tr, p := genTrace(b, "505.mcf", 100_000)
+	for _, bc := range []struct {
+		name string
+		mk   func() Model
+	}{
+		{"baseline", func() Model { return New(KindBaseline, Options{}) }},
+		{"stbpu", func() Model { return New(KindSTBPU, Options{SharedTokens: p.SharedTokens}) }},
+	} {
+		b.Run(bc.name+"/batched", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunCtx(context.Background(), bc.mk(), tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(bc.name+"/step", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunCtx(context.Background(), stepOnly{bc.mk()}, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // tokenThresholds builds a threshold config for tests.
 func tokenThresholds(misp, evict uint64) (th token.Thresholds) {
 	th.Mispredictions = misp
 	th.Evictions = evict
 	return th
+}
+
+// stepOnly hides a model's BatchModel implementation so RunCtx takes the
+// per-record Step shim; Finalize is forwarded so run-scoped counters still
+// land in the Result.
+type stepOnly struct{ m Model }
+
+func (s stepOnly) Name() string                                       { return s.m.Name() }
+func (s stepOnly) Step(rec trace.Record) (bpu.Prediction, bpu.Events) { return s.m.Step(rec) }
+func (s stepOnly) Finalize(res *Result) {
+	if f, ok := s.m.(Finalizer); ok {
+		f.Finalize(res)
+	}
+}
+
+func TestBatchedPathMatchesStepShim(t *testing.T) {
+	tr, prof := genTrace(t, "mysql_128con_50s", 30_000)
+	for _, kind := range Fig3Kinds() {
+		opt := Options{SharedTokens: prof.SharedTokens, Seed: 11}
+		batched, err := RunCtx(context.Background(), New(kind, opt), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := New(kind, opt).(BatchModel); !ok {
+			t.Errorf("%v does not implement BatchModel", kind)
+		}
+		stepped, err := RunCtx(context.Background(), stepOnly{New(kind, opt)}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batched != stepped {
+			t.Errorf("%v: batched %+v != stepped %+v", kind, batched, stepped)
+		}
+	}
+}
+
+func TestFinalizerReportsRunScopedCounters(t *testing.T) {
+	tr, prof := genTrace(t, "mysql_128con_50s", 40_000)
+	fl, err := RunCtx(context.Background(), New(KindUcode2, Options{SharedTokens: prof.SharedTokens}), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.Flushes == 0 {
+		t.Error("FlushModel.Finalize reported no flushes on a server trace")
+	}
+	th := tokenThresholds(100, 100)
+	st, err := RunCtx(context.Background(),
+		New(KindSTBPU, Options{SharedTokens: prof.SharedTokens, Thresholds: &th}), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rerandomizations == 0 {
+		t.Error("STBPUModel.Finalize reported no re-randomizations under aggressive thresholds")
+	}
+}
+
+// cancelingBatcher cancels the run's context from inside StepBatch, so the
+// test can pin down where the batched path observes cancellation.
+type cancelingBatcher struct {
+	m       Model
+	cancel  context.CancelFunc
+	batches int
+}
+
+func (c *cancelingBatcher) Name() string                                       { return c.m.Name() }
+func (c *cancelingBatcher) Step(rec trace.Record) (bpu.Prediction, bpu.Events) { return c.m.Step(rec) }
+func (c *cancelingBatcher) StepBatch(recs []trace.Record, acc *Counters) {
+	c.m.(BatchModel).StepBatch(recs, acc)
+	c.batches++
+	c.cancel()
+}
+
+func TestRunCtxCancellationOnBatchedPath(t *testing.T) {
+	tr, prof := genTrace(t, "505.mcf", 4*runCheckInterval)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cb := &cancelingBatcher{m: New(KindBaseline, Options{SharedTokens: prof.SharedTokens}), cancel: cancel}
+	if _, err := RunCtx(ctx, cb, tr); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Cancellation lands at the next chunk boundary: exactly one batch ran.
+	if cb.batches != 1 {
+		t.Errorf("batches after cancel = %d, want 1", cb.batches)
+	}
 }
 
 func TestRunCtxCanceledMidReplay(t *testing.T) {

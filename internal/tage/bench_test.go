@@ -1,0 +1,71 @@
+package tage
+
+import (
+	"testing"
+
+	"stbpu/internal/rng"
+)
+
+// benchStream builds a deterministic PC/outcome stream with loopy,
+// history-correlated behavior so the tagged banks, SC, and loop predictor
+// all see realistic work.
+func benchStream(n int) (pcs []uint64, taken []bool) {
+	pcs = make([]uint64, n)
+	taken = make([]bool, n)
+	s := uint64(0xbadc0de)
+	for i := range pcs {
+		r := rng.SplitMix64(&s)
+		pcs[i] = 0x400000 + (r%512)<<2
+		// Mix of biased, history-correlated, and loop-like outcomes.
+		switch pcs[i] % 3 {
+		case 0:
+			taken[i] = r>>8&7 != 0 // strongly taken
+		case 1:
+			taken[i] = i%7 != 6 // 7-iteration loop shape
+		default:
+			taken[i] = r>>16&1 == 1
+		}
+	}
+	return pcs, taken
+}
+
+const benchMask = 1<<14 - 1
+
+func benchPredictor(b *testing.B, cfg Config) (*Predictor, []uint64, []bool) {
+	b.Helper()
+	p := New(cfg)
+	pcs, taken := benchStream(benchMask + 1)
+	for i := 0; i < benchMask+1; i++ {
+		p.Predict(pcs[i])
+		p.Update(pcs[i], taken[i])
+	}
+	return p, pcs, taken
+}
+
+func BenchmarkPredict(b *testing.B) {
+	for _, cfg := range []Config{Config8KB(), Config64KB()} {
+		b.Run(cfg.Name, func(b *testing.B) {
+			p, pcs, _ := benchPredictor(b, cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Predict(pcs[i&benchMask])
+			}
+		})
+	}
+}
+
+// BenchmarkUpdate measures the full predict/update pair — Update consumes
+// the lookup Predict stashes, so the pair is the unit the replay loop pays
+// per conditional branch.
+func BenchmarkUpdate(b *testing.B) {
+	for _, cfg := range []Config{Config8KB(), Config64KB()} {
+		b.Run(cfg.Name, func(b *testing.B) {
+			p, pcs, taken := benchPredictor(b, cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Predict(pcs[i&benchMask])
+				p.Update(pcs[i&benchMask], taken[i&benchMask])
+			}
+		})
+	}
+}

@@ -103,22 +103,25 @@ type entry struct {
 
 // folded maintains a history register folded to a fixed width, updated
 // incrementally as outcomes shift in and out (standard TAGE hardware).
+// outShift and mask are fixed per register, precomputed at construction so
+// the per-branch update is pure shift/xor work.
 type folded struct {
-	val     uint64
-	origLen uint // history length folded
-	compLen uint // folded width
+	val      uint64
+	compLen  uint   // folded width
+	outShift uint   // origLen % compLen
+	mask     uint64 // 1<<compLen - 1
 }
 
 func newFolded(origLen, compLen uint) folded {
-	return folded{origLen: origLen, compLen: compLen}
+	return folded{compLen: compLen, outShift: origLen % compLen, mask: 1<<compLen - 1}
 }
 
 // update shifts newBit in and oldBit (the outcome origLen steps ago) out.
 func (f *folded) update(newBit, oldBit uint64) {
 	f.val = (f.val << 1) | newBit
-	f.val ^= oldBit << (f.origLen % f.compLen)
+	f.val ^= oldBit << f.outShift
 	f.val ^= f.val >> f.compLen
-	f.val &= (1 << f.compLen) - 1
+	f.val &= f.mask
 }
 
 func (f *folded) reset() { f.val = 0 }
@@ -154,6 +157,11 @@ type Predictor struct {
 	fIdx    []folded
 	fTag    []folded
 	fTag2   []folded
+	// oldPos[i] is the ring index of the outcome HistLens[i] steps back,
+	// advanced in lockstep with histPos so pushHistory never normalizes a
+	// negative position. scOldPos is the same for the SC history lengths.
+	oldPos   []int32
+	scOldPos []int32
 
 	useAltOnNA int8 // -8..7: prefer altpred for newly allocated entries
 
@@ -224,6 +232,7 @@ func New(cfg Config) *Predictor {
 		p.fTag = append(p.fTag, newFolded(uint(l), cfg.TagBits))
 		p.fTag2 = append(p.fTag2, newFolded(uint(l), cfg.TagBits-1))
 	}
+	p.oldPos = make([]int32, len(cfg.HistLens))
 	if cfg.UseLoop {
 		p.loops = make([]loopEntry, 64)
 	}
@@ -238,6 +247,8 @@ func New(cfg Config) *Predictor {
 		}
 		p.scThresh = 6
 	}
+	p.scOldPos = make([]int32, len(p.scLens))
+	p.resetOldPositions()
 	p.last.tags = make([]uint32, len(cfg.HistLens))
 	p.last.idxs = make([]uint32, len(cfg.HistLens))
 	p.last.scIdxs = make([]uint32, len(p.scTables))
@@ -260,20 +271,19 @@ func (p *Predictor) Predict(pc uint64) bool {
 	l.bimIdx = p.hasher.TableIndex(pc, 0, p.cfg.BimodalBits)
 	bimPred := p.bimodal[l.bimIdx] >= 0
 
-	// Tagged lookups, longest history wins.
+	// Tagged lookups, longest history wins. One pass computes every bank's
+	// index/tag (Update's allocation needs them all) and picks the provider
+	// and alternate as it goes.
 	for b := len(p.banks) - 1; b >= 0; b-- {
 		idx, tag := p.hasher.BankIndexTag(pc, p.fIdx[b].val, p.fTag[b].val^(p.fTag2[b].val<<1), b, p.cfg.IndexBits, p.cfg.TagBits)
 		l.idxs[b], l.tags[b] = idx, tag
-	}
-	for b := len(p.banks) - 1; b >= 0; b-- {
-		if e := &p.banks[b][l.idxs[b]]; e.valid && e.tag == l.tags[b] {
+		if e := &p.banks[b][idx]; e.valid && e.tag == tag {
 			if l.provider < 0 {
 				l.provider = b
-				l.provIdx = l.idxs[b]
+				l.provIdx = idx
 			} else if l.altBank < 0 {
 				l.altBank = b
-				l.altIdx = l.idxs[b]
-				break
+				l.altIdx = idx
 			}
 		}
 	}
@@ -454,6 +464,7 @@ func (p *Predictor) Flush() {
 	}
 	p.hist = [maxHistoryBits]uint8{}
 	p.histPos, p.histLen = 0, 0
+	p.resetOldPositions()
 	p.useAltOnNA = 0
 	p.last = lookup{
 		tags:   p.last.tags,
@@ -462,32 +473,48 @@ func (p *Predictor) Flush() {
 	}
 }
 
+// resetOldPositions re-derives every old-outcome ring index from histPos
+// (construction and flush; steady state advances them incrementally).
+func (p *Predictor) resetOldPositions() {
+	for i, l := range p.cfg.HistLens {
+		p.oldPos[i] = int32((p.histPos - l + maxHistoryBits) % maxHistoryBits)
+	}
+	for i, l := range p.scLens {
+		p.scOldPos[i] = int32((p.histPos - l + maxHistoryBits) % maxHistoryBits)
+	}
+}
+
 // pushHistory shifts an outcome into the ring and all folded registers.
+// The outgoing-outcome positions are maintained incrementally (one
+// compare-and-wrap per bank) instead of re-normalized with loops and
+// modulo arithmetic on every retired branch.
 func (p *Predictor) pushHistory(taken bool) {
 	bit := uint64(0)
 	if taken {
 		bit = 1
 	}
 	p.hist[p.histPos] = uint8(bit)
-	old := func(l int) uint64 {
-		pos := p.histPos - l
-		for pos < 0 {
-			pos += maxHistoryBits
-		}
-		return uint64(p.hist[pos])
-	}
-	for i, l := range p.cfg.HistLens {
-		ob := old(l)
+	for i := range p.fIdx {
+		ob := uint64(p.hist[p.oldPos[i]])
 		p.fIdx[i].update(bit, ob)
 		p.fTag[i].update(bit, ob)
 		p.fTag2[i].update(bit, ob)
+		if p.oldPos[i]++; p.oldPos[i] == maxHistoryBits {
+			p.oldPos[i] = 0
+		}
 	}
 	for i, l := range p.scLens {
 		if l > 0 {
-			p.scFolds[i].update(bit, old(l))
+			p.scFolds[i].update(bit, uint64(p.hist[p.scOldPos[i]]))
+		}
+		if p.scOldPos[i]++; p.scOldPos[i] == maxHistoryBits {
+			p.scOldPos[i] = 0
 		}
 	}
-	p.histPos = (p.histPos + 1) % maxHistoryBits
+	p.histPos++
+	if p.histPos == maxHistoryBits {
+		p.histPos = 0
+	}
 	if p.histLen < maxHistoryBits {
 		p.histLen++
 	}

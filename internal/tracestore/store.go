@@ -1,0 +1,206 @@
+// Package tracestore is the cross-run trace cache behind the experiment
+// harness: a concurrency-safe, byte-bounded LRU of generated workload
+// traces with singleflight-deduplicated generation. Before this package
+// every scenario run carried its own per-run cache, so a full stbpu-suite
+// run regenerated the same (workload, records) trace once per scenario;
+// one shared Store amortizes generation across the whole run while the
+// byte bound keeps full-scale sweeps from holding every trace forever.
+//
+// Determinism: trace generation is a pure function of (name, records), so
+// a cached trace is bit-identical to a freshly generated one. Eviction can
+// therefore only change *when* a trace is rebuilt, never *what* replays —
+// the harness determinism contract (bit-identical results at any worker
+// count) holds under any byte budget, including zero.
+package tracestore
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"unsafe"
+
+	"stbpu/internal/trace"
+)
+
+// Key identifies one generated trace.
+type Key struct {
+	// Name is the workload preset name.
+	Name string
+	// Records is the trace length.
+	Records int
+}
+
+// String renders the key as the legacy per-run cache did ("name@records").
+func (k Key) String() string { return fmt.Sprintf("%s@%d", k.Name, k.Records) }
+
+// GenFunc materializes the trace for a key. It must be deterministic: the
+// store may drop and regenerate entries under byte pressure, and replay
+// results must not depend on which copy a cell observed.
+type GenFunc func(name string, records int) (*trace.Trace, trace.Profile, error)
+
+// PresetGen is the default generator: the named trace preset resized to
+// the requested record count.
+func PresetGen(name string, records int) (*trace.Trace, trace.Profile, error) {
+	p, err := trace.Preset(name)
+	if err != nil {
+		return nil, trace.Profile{}, err
+	}
+	p = p.WithRecords(records)
+	tr, err := trace.Generate(p)
+	if err != nil {
+		return nil, trace.Profile{}, err
+	}
+	return tr, p, nil
+}
+
+// DefaultMaxBytes bounds stores whose creator does not choose a budget:
+// large enough that a QuickScale suite run never evicts, small enough that
+// a full-scale sweep cannot hold hundreds of 250k-record traces at once.
+const DefaultMaxBytes = 256 << 20
+
+// recordBytes is the in-memory footprint of one trace record.
+const recordBytes = int64(unsafe.Sizeof(trace.Record{}))
+
+// entryOverheadBytes charges each entry for its map/list/struct overhead
+// so a pathological many-tiny-traces workload still respects the bound.
+const entryOverheadBytes = 256
+
+// Stats is a point-in-time snapshot of store counters. Hits+Misses counts
+// Get calls; Generations counts actual synth runs (Misses minus waiters
+// that piggybacked on an in-flight generation, plus regenerations after
+// eviction — with deduplication it equals the number of distinct keys
+// materialized, counting each re-materialization after eviction).
+type Stats struct {
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Generations uint64 `json:"generations"`
+	Evictions   uint64 `json:"evictions"`
+	// Bytes is the current resident size; MaxBytes the configured bound.
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes"`
+}
+
+// Store is the shared cache. The zero value is not usable; construct with
+// New. All methods are safe for concurrent use.
+type Store struct {
+	gen      GenFunc
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[Key]*entry
+	lru     *list.List // front = most recent; values are *entry
+	bytes   int64
+
+	hits, misses, generations, evictions uint64
+}
+
+// entry is one cached (or in-flight) trace. The sync.Once gives waiters
+// singleflight semantics: the first Get for a key generates, concurrent
+// Gets block on the same Once and share the result read-only.
+type entry struct {
+	key  Key
+	once sync.Once
+	tr   *trace.Trace
+	prof trace.Profile
+	err  error
+
+	bytes int64
+	elem  *list.Element // LRU position; nil while generating or after eviction
+}
+
+// New builds a store bounded to maxBytes of resident trace data
+// (maxBytes <= 0 means DefaultMaxBytes) generating through gen
+// (nil means PresetGen).
+func New(maxBytes int64, gen GenFunc) *Store {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	if gen == nil {
+		gen = PresetGen
+	}
+	return &Store{
+		gen:      gen,
+		maxBytes: maxBytes,
+		entries:  map[Key]*entry{},
+		lru:      list.New(),
+	}
+}
+
+// Get returns the trace for (name, records), generating it at most once
+// per residency no matter how many cells ask concurrently. The returned
+// trace is shared and must be treated as read-only.
+func (s *Store) Get(name string, records int) (*trace.Trace, trace.Profile, error) {
+	key := Key{Name: name, Records: records}
+
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if ok {
+		s.hits++
+		if e.elem != nil {
+			s.lru.MoveToFront(e.elem)
+		}
+	} else {
+		s.misses++
+		e = &entry{key: key}
+		s.entries[key] = e
+	}
+	s.mu.Unlock()
+
+	e.once.Do(func() {
+		e.tr, e.prof, e.err = s.gen(name, records)
+
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if e.err != nil {
+			// Failed generation is not cached: waiters on this entry see
+			// the error, the next Get retries with a fresh entry.
+			delete(s.entries, key)
+			return
+		}
+		s.generations++
+		e.bytes = int64(len(e.tr.Records))*recordBytes + entryOverheadBytes
+		s.bytes += e.bytes
+		e.elem = s.lru.PushFront(e)
+		s.evictLocked()
+	})
+	return e.tr, e.prof, e.err
+}
+
+// evictLocked drops least-recently-used entries until the store fits its
+// budget. An entry larger than the whole budget is evicted immediately
+// after insertion; its caller already holds the pointers it needs.
+func (s *Store) evictLocked() {
+	for s.bytes > s.maxBytes {
+		back := s.lru.Back()
+		if back == nil {
+			return
+		}
+		victim := back.Value.(*entry)
+		s.lru.Remove(back)
+		victim.elem = nil
+		delete(s.entries, victim.key)
+		s.bytes -= victim.bytes
+		s.evictions++
+	}
+}
+
+// Len reports how many traces are resident.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Hits:        s.hits,
+		Misses:      s.misses,
+		Generations: s.generations,
+		Evictions:   s.evictions,
+		Bytes:       s.bytes,
+		MaxBytes:    s.maxBytes,
+	}
+}
