@@ -1,8 +1,9 @@
 // Command stbpu-suite lists, filters, and runs the registered experiment
 // scenarios on the parallel harness and emits one JSON document per run —
 // root seed, worker count, per-scenario parameters, cell counts, timing,
-// and structured results — suitable for golden-file comparison and
-// benchmarking trajectories.
+// per-backend stats, and structured results — suitable for golden-file
+// comparison and benchmarking trajectories. The document schema is
+// specified in docs/SUITE_JSON.md.
 //
 // Usage:
 //
@@ -11,6 +12,14 @@
 //	stbpu-suite -run thresholds,gamma       # comma-separated filters
 //	stbpu-suite -quick -seed 1 -workers 4   # QuickScale, fixed seed/pool
 //	stbpu-suite -timing=false               # reproducible output bytes
+//	stbpu-suite -backend exec -exec-workers 4  # cells on 4 subprocesses
+//	stbpu-suite -worker                     # subprocess worker mode
+//
+// With -backend exec the suite spawns `stbpu-suite -worker` subprocesses
+// that execute cell batches received as length-prefixed JSON frames on
+// stdin and answer results on stdout; -backend mixed splits cells
+// between the in-process pool and the subprocess fleet. Results are
+// bit-identical across backends (see docs/ARCHITECTURE.md).
 package main
 
 import (
@@ -36,22 +45,76 @@ type suiteDoc struct {
 	// ElapsedMS is total wall-clock time (0 when -timing=false).
 	ElapsedMS int64            `json:"elapsed_ms"`
 	Runs      []harness.Report `json:"runs"`
+	// Backends reports per-backend execution stats (cells run, retries,
+	// wall time; wall time is 0 when -timing=false).
+	Backends []harness.BackendStats `json:"backends"`
 	// TraceStore reports the shared cross-run trace cache's hit/miss/
-	// generation/eviction counters for the whole run.
+	// generation/eviction counters for the whole run. With -backend exec
+	// the coordinator's store sits idle: workers generate traces into
+	// their own process-local stores.
 	TraceStore tracestore.Stats `json:"trace_store"`
 }
 
 // config carries the parsed CLI knobs; factored out so tests drive the
 // exact code path main uses.
 type config struct {
-	filters    []string
-	seed       uint64
-	workers    int
-	cacheBytes int64
-	params     harness.Params
-	timing     bool
-	verbose    bool
-	stderr     io.Writer
+	filters     []string
+	seed        uint64
+	workers     int
+	cacheBytes  int64
+	backend     string // "local" (default), "exec", or "mixed"
+	execWorkers int
+	// workerCmd/workerEnv override the subprocess command (tests re-exec
+	// their own binary); nil means this executable with -worker.
+	workerCmd []string
+	workerEnv []string
+	params    harness.Params
+	timing    bool
+	verbose   bool
+	stderr    io.Writer
+}
+
+// buildBackend constructs the backend the -backend flag selects; nil
+// means the pool's default in-process LocalBackend.
+func buildBackend(cfg config) (harness.Backend, error) {
+	execWorkers := cfg.execWorkers
+	if execWorkers <= 0 {
+		execWorkers = 2
+	}
+	newExec := func() (*harness.ExecBackend, error) {
+		cmd := cfg.workerCmd
+		if cmd == nil {
+			exe, err := os.Executable()
+			if err != nil {
+				return nil, fmt.Errorf("resolve worker executable: %w", err)
+			}
+			// Forward the resource knobs so workers honor the same bounds
+			// as the coordinator (each worker applies them per process).
+			cmd = []string{exe, "-worker",
+				fmt.Sprintf("-workers=%d", cfg.workers),
+				fmt.Sprintf("-cache-bytes=%d", cfg.cacheBytes)}
+		}
+		return &harness.ExecBackend{Command: cmd, Env: cfg.workerEnv, Workers: execWorkers}, nil
+	}
+	switch cfg.backend {
+	case "", "local":
+		return nil, nil
+	case "exec":
+		return newExec()
+	case "mixed":
+		eb, err := newExec()
+		if err != nil {
+			return nil, err
+		}
+		// Weight the subprocess fleet by its size so it takes a share of
+		// chunks proportional to its workers.
+		return harness.NewMultiBackend(
+			harness.WeightedBackend{Backend: harness.NewLocalBackend(cfg.workers), Weight: 1},
+			harness.WeightedBackend{Backend: eb, Weight: execWorkers},
+		), nil
+	default:
+		return nil, fmt.Errorf("unknown backend %q (want local, exec, or mixed)", cfg.backend)
+	}
 }
 
 // runSuite executes the selected scenarios and assembles the document.
@@ -59,6 +122,14 @@ func runSuite(ctx context.Context, cfg config) (suiteDoc, error) {
 	pool := harness.NewPool(cfg.workers, cfg.seed)
 	store := tracestore.New(cfg.cacheBytes, nil)
 	pool.SetTraceStore(store)
+	backend, err := buildBackend(cfg)
+	if err != nil {
+		return suiteDoc{}, err
+	}
+	if backend != nil {
+		pool.SetBackend(backend)
+		defer backend.Close()
+	}
 	opts := harness.Options{
 		Filters: cfg.filters,
 		Params:  cfg.params,
@@ -66,7 +137,7 @@ func runSuite(ctx context.Context, cfg config) (suiteDoc, error) {
 	}
 	if cfg.verbose {
 		opts.Observer = func(c harness.Cell) {
-			fmt.Fprintf(cfg.stderr, "cell %s/%d seed=%#x %v\n", c.Scope, c.Shard, c.Seed, c.Elapsed.Round(0))
+			fmt.Fprintf(cfg.stderr, "cell %s/%d seed=%#x backend=%s %v\n", c.Scope, c.Shard, c.Seed, c.Backend, c.Elapsed.Round(0))
 		}
 	}
 	doc := suiteDoc{Suite: "stbpu-suite", Seed: pool.RootSeed(), Workers: pool.Workers()}
@@ -77,6 +148,14 @@ func runSuite(ctx context.Context, cfg config) (suiteDoc, error) {
 	doc.Runs = reports
 	for _, r := range reports {
 		doc.ElapsedMS += r.ElapsedMS
+	}
+	if sr, ok := pool.Backend().(harness.StatsReporter); ok {
+		doc.Backends = sr.BackendStats()
+	}
+	if !cfg.timing {
+		for i := range doc.Backends {
+			doc.Backends[i].WallMS = 0
+		}
 	}
 	doc.TraceStore = store.Stats()
 	return doc, nil
@@ -111,11 +190,23 @@ func run() error {
 		rF        = flag.Float64("r", 0, "attack-difficulty factor (0 = scenario default)")
 		quick     = flag.Bool("quick", false, "use the QuickScale test/benchmark sizing")
 		cacheB    = flag.Int64("cache-bytes", tracestore.DefaultMaxBytes, "byte budget for the shared cross-run trace store (<=0 = default budget)")
+		backend   = flag.String("backend", "local", "cell execution backend: local, exec (subprocess workers), or mixed")
+		execW     = flag.Int("exec-workers", 2, "subprocess worker count for -backend exec/mixed")
+		worker    = flag.Bool("worker", false, "run as a subprocess worker: execute length-prefixed JSON cell batches from stdin")
 		timing    = flag.Bool("timing", true, "record wall-clock timing (disable for byte-stable output)")
 		verbose   = flag.Bool("v", false, "stream per-cell progress to stderr")
 		out       = flag.String("o", "", "write the JSON document to this file (default stdout)")
 	)
 	flag.Parse()
+
+	if *worker {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		return harness.ServeWorker(ctx, os.Stdin, os.Stdout, harness.WorkerOptions{
+			Workers:    *workers,
+			CacheBytes: *cacheB,
+		})
+	}
 
 	if *list {
 		for _, s := range harness.All() {
@@ -125,12 +216,14 @@ func run() error {
 	}
 
 	cfg := config{
-		seed:       *seed,
-		workers:    *workers,
-		cacheBytes: *cacheB,
-		timing:     *timing,
-		verbose:    *verbose,
-		stderr:     os.Stderr,
+		seed:        *seed,
+		workers:     *workers,
+		cacheBytes:  *cacheB,
+		backend:     *backend,
+		execWorkers: *execW,
+		timing:      *timing,
+		verbose:     *verbose,
+		stderr:      os.Stderr,
 		params: harness.Params{
 			Records:      *records,
 			MaxWorkloads: *workloads,

@@ -4,15 +4,34 @@ import (
 	"bytes"
 	"context"
 	"flag"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"stbpu/internal/harness"
+	"stbpu/internal/tracestore"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+const workerEnvVar = "STBPU_SUITE_TEST_WORKER"
+
+// TestMain lets this test binary double as the subprocess worker for the
+// exec-backend tests: with the env var set it serves the frame protocol
+// on stdio — the same harness.ServeWorker loop `stbpu-suite -worker`
+// runs — instead of running tests.
+func TestMain(m *testing.M) {
+	if os.Getenv(workerEnvVar) == "1" {
+		if err := harness.ServeWorker(context.Background(), os.Stdin, os.Stdout, harness.WorkerOptions{Workers: 1}); err != nil {
+			fmt.Fprintln(os.Stderr, "worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 // goldenConfig pins every knob that feeds the output bytes: fixed seed,
 // fixed worker count (recorded in the document), timing suppressed, and a
@@ -62,6 +81,53 @@ func TestGoldenSuiteOutput(t *testing.T) {
 	if !bytes.Equal(buf.Bytes(), want) {
 		t.Errorf("suite output diverged from %s (%d vs %d bytes); rerun with -update if the change is intended",
 			golden, buf.Len(), len(want))
+	}
+}
+
+// TestExecBackendMatchesLocalGolden is the acceptance gate for the
+// distributed path: the quick golden scenario set run on subprocess
+// workers must produce byte-identical result JSON to the in-process run,
+// modulo the per-backend stats and trace-store blocks (the coordinator's
+// trace store sits idle when workers generate their own traces).
+func TestExecBackendMatchesLocalGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocess workers")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := goldenConfig()
+	remote := goldenConfig()
+	remote.backend = "exec"
+	remote.execWorkers = 2
+	remote.workerCmd = []string{exe}
+	remote.workerEnv = []string{workerEnvVar + "=1"}
+
+	docLocal, err := runSuite(context.Background(), local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docRemote, err := runSuite(context.Background(), remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docRemote.Backends) != 1 || docRemote.Backends[0].Backend != "exec" || docRemote.Backends[0].Cells == 0 {
+		t.Errorf("exec run backend stats implausible: %+v", docRemote.Backends)
+	}
+	// Normalize the blocks the comparison is explicitly modulo of.
+	docLocal.Backends, docRemote.Backends = nil, nil
+	docLocal.TraceStore, docRemote.TraceStore = tracestore.Stats{}, tracestore.Stats{}
+
+	var a, b bytes.Buffer
+	if err := writeDoc(&a, docLocal); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeDoc(&b, docRemote); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("exec-backend suite output diverges from local (%d vs %d bytes)", a.Len(), b.Len())
 	}
 }
 

@@ -36,10 +36,12 @@ type CovertResult struct {
 	Rows []CovertRow
 }
 
-// covertCell is one (model, trial) measurement before averaging.
+// covertCell is one (model, trial) measurement before averaging. Its
+// fields are exported so the cell survives the JSON round-trip through a
+// wire backend (see internal/harness/exec.go).
 type covertCell struct {
-	errRate, capacity, bandwidth float64
-	rerands                      uint64
+	ErrRate, Capacity, Bandwidth float64
+	Rerands                      uint64
 }
 
 // RunCovertComparison measures the PHT covert channel on the full lineup
@@ -67,10 +69,10 @@ func RunCovertComparisonCtx(ctx context.Context, p harness.Params, pool *harness
 			chanSeed := rng.SplitMix64(&seed)
 			r := attacks.PHTCovertChannel(tgt, p.Bits, chanSeed)
 			return covertCell{
-				errRate:   r.ErrorRate(),
-				capacity:  r.CapacityPerSymbol(),
-				bandwidth: r.BandwidthBitsPerKRecord(),
-				rerands:   r.Rerandomizations,
+				ErrRate:   r.ErrorRate(),
+				Capacity:  r.CapacityPerSymbol(),
+				Bandwidth: r.BandwidthBitsPerKRecord(),
+				Rerands:   r.Rerandomizations,
 			}, nil
 		})
 	if err != nil {
@@ -80,10 +82,10 @@ func RunCovertComparisonCtx(ctx context.Context, p harness.Params, pool *harness
 	for m := range models {
 		var row CovertRow
 		for _, c := range cells[m*trials : (m+1)*trials] {
-			row.ErrorRate += c.errRate
-			row.Capacity += c.capacity
-			row.Bandwidth += c.bandwidth
-			row.Rerandomizations += c.rerands
+			row.ErrorRate += c.ErrRate
+			row.Capacity += c.Capacity
+			row.Bandwidth += c.Bandwidth
+			row.Rerandomizations += c.Rerands
 		}
 		row.Model = models[m]
 		row.ErrorRate /= float64(trials)

@@ -66,9 +66,11 @@ func newITTAGEVariant(v int, seed uint64) sim.Model {
 	}
 }
 
-// ittageCell is one (workload, variant) measurement.
+// ittageCell is one (workload, variant) measurement. Its fields are
+// exported so the cell survives the JSON round-trip through a wire
+// backend (see internal/harness/exec.go).
 type ittageCell struct {
-	targetRate, oae float64
+	TargetRate, OAE float64
 }
 
 // RunITTAGE measures the four variants on the default pool.
@@ -94,7 +96,7 @@ func RunITTAGECtx(ctx context.Context, p harness.Params, pool *harness.Pool) (IT
 			if err != nil {
 				return ittageCell{}, err
 			}
-			return ittageCell{targetRate: res.TargetRate(), oae: res.OAE()}, nil
+			return ittageCell{TargetRate: res.TargetRate(), OAE: res.OAE()}, nil
 		})
 	if err != nil {
 		return ITTAGEResult{}, err
@@ -103,8 +105,8 @@ func RunITTAGECtx(ctx context.Context, p harness.Params, pool *harness.Pool) (IT
 	for w := range names {
 		row := ITTAGERow{Workload: names[w]}
 		for v := 0; v < nv; v++ {
-			row.TargetRate[v] = cells[w*nv+v].targetRate
-			row.OAE[v] = cells[w*nv+v].oae
+			row.TargetRate[v] = cells[w*nv+v].TargetRate
+			row.OAE[v] = cells[w*nv+v].OAE
 		}
 		res.Rows[w] = row
 	}

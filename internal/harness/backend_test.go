@@ -1,0 +1,181 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// flakyBackend fails batches at the transport level: the first failN Run
+// calls execute part of the batch (mid-batch death) and then report a
+// batch error, after which it behaves like its inner local backend.
+type flakyBackend struct {
+	inner *LocalBackend
+	calls atomic.Uint64
+	failN uint64
+}
+
+func (f *flakyBackend) Name() string { return "flaky" }
+
+func (f *flakyBackend) Close() error { return nil }
+
+func (f *flakyBackend) Run(ctx context.Context, specs []CellSpec) ([]CellResult, error) {
+	if f.calls.Add(1) <= f.failN {
+		// Execute half the batch before dying, like a worker lost mid-run;
+		// the partial work must be invisible in the final merged results.
+		if len(specs) > 1 {
+			if _, err := f.inner.Run(ctx, specs[:len(specs)/2]); err != nil {
+				return nil, err
+			}
+		}
+		return nil, errors.New("flaky backend dropped the batch")
+	}
+	return f.inner.Run(ctx, specs)
+}
+
+func mapSquares(t *testing.T, pool *Pool, n int) []float64 {
+	t.Helper()
+	out, err := Map(context.Background(), pool, "squares", n,
+		func(ctx context.Context, shard int, seed uint64) (float64, error) {
+			return float64(seed%1000) * float64(shard), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestMultiBackendRequeueBitIdentical is the backend failure-path gate:
+// a backend that errors mid-batch must trigger requeue onto another
+// backend, and the final results must be bit-identical to a pure local
+// run.
+func TestMultiBackendRequeueBitIdentical(t *testing.T) {
+	const n = 64
+	want := mapSquares(t, NewPool(2, 77), n)
+
+	flaky := &flakyBackend{inner: NewLocalBackend(2), failN: 3}
+	multi := NewMultiBackend(
+		WeightedBackend{Backend: flaky, Weight: 2},
+		WeightedBackend{Backend: NewLocalBackend(2), Weight: 1},
+	)
+	pool := NewPool(2, 77)
+	pool.SetBackend(multi)
+	got := mapSquares(t, pool, n)
+
+	if !reflect.DeepEqual(got, want) {
+		t.Error("requeued results differ from a pure local run")
+	}
+	stats := multi.BackendStats()
+	var retries uint64
+	for _, s := range stats {
+		if s.Backend == "flaky" {
+			retries = s.Retries
+		}
+	}
+	if retries == 0 {
+		t.Errorf("flaky backend failures were not accounted as retries: %+v", stats)
+	}
+	if flaky.calls.Load() <= flaky.failN {
+		t.Errorf("flaky backend was never retried with work after recovering (calls=%d)", flaky.calls.Load())
+	}
+}
+
+// TestMultiBackendAllBackendsFail pins the terminal case: when every
+// backend fails a chunk, Run reports the failure instead of hanging or
+// silently dropping cells.
+func TestMultiBackendAllBackendsFail(t *testing.T) {
+	multi := NewMultiBackend(
+		WeightedBackend{Backend: &flakyBackend{inner: NewLocalBackend(1), failN: ^uint64(0)}},
+		WeightedBackend{Backend: &flakyBackend{inner: NewLocalBackend(1), failN: ^uint64(0)}},
+	)
+	pool := NewPool(1, 1)
+	pool.SetBackend(multi)
+	_, err := Map(context.Background(), pool, "doomed", 8,
+		func(ctx context.Context, shard int, seed uint64) (int, error) { return shard, nil })
+	if err == nil || !strings.Contains(err.Error(), "dropped the batch") {
+		t.Fatalf("err = %v, want the backends' batch failure", err)
+	}
+}
+
+// shortBackend returns fewer results than specs without any error — a
+// broken backend Map must refuse rather than hand back zero-filled data.
+type shortBackend struct{ inner *LocalBackend }
+
+func (s *shortBackend) Name() string { return "short" }
+func (s *shortBackend) Close() error { return nil }
+
+func (s *shortBackend) Run(ctx context.Context, specs []CellSpec) ([]CellResult, error) {
+	res, err := s.inner.Run(ctx, specs)
+	if err != nil || len(res) == 0 {
+		return res, err
+	}
+	return res[:len(res)-1], nil
+}
+
+func TestMapRejectsMissingShards(t *testing.T) {
+	pool := NewPool(1, 1)
+	pool.SetBackend(&shortBackend{inner: NewLocalBackend(1)})
+	_, err := Map(context.Background(), pool, "short", 4,
+		func(ctx context.Context, shard int, seed uint64) (int, error) { return shard, nil })
+	if err == nil || !strings.Contains(err.Error(), "no result for shard") {
+		t.Fatalf("err = %v, want a missing-shard refusal", err)
+	}
+}
+
+func TestLocalBackendStats(t *testing.T) {
+	pool := NewPool(2, 5)
+	mapSquares(t, pool, 10)
+	sr, ok := pool.Backend().(StatsReporter)
+	if !ok {
+		t.Fatal("local backend does not report stats")
+	}
+	stats := sr.BackendStats()
+	if len(stats) != 1 || stats[0].Backend != "local" || stats[0].Cells != 10 || stats[0].Retries != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+// TestCellResultWireRoundTrip pins the wire encoding: values survive
+// JSON exactly and context cancellation survives as errors.Is.
+func TestCellResultWireRoundTrip(t *testing.T) {
+	type payload struct {
+		F float64
+		U uint64
+	}
+	in := CellResult{Shard: 3, value: payload{F: 0.1 + 0.2, U: ^uint64(0)}, hasValue: true}
+	in.encodeWire()
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out CellResult
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := decodeInto(&out, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != (payload{F: 0.1 + 0.2, U: ^uint64(0)}) {
+		t.Errorf("payload round-trip = %+v", got)
+	}
+
+	canceled := CellResult{Shard: 1, err: fmt.Errorf("cell: %w", context.Canceled)}
+	canceled.encodeWire()
+	b, err = json.Marshal(canceled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out2 CellResult
+	if err := json.Unmarshal(b, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(out2.CellErr(), context.Canceled) {
+		t.Errorf("cancellation lost in wire round-trip: %v", out2.CellErr())
+	}
+}

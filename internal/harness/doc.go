@@ -1,0 +1,35 @@
+// Package harness is the scenario registry and distributed execution
+// engine behind every experiment driver in this repository — the top
+// layer of the architecture described in docs/ARCHITECTURE.md
+// (predictors → sim/tracestore → harness → cmd and examples).
+//
+// An experiment is registered once as a named, parameterized Scenario;
+// its Run decomposes the experiment into a dense (model × workload ×
+// trial) cell space via Map, which schedules the cells through the
+// pool's Backend and reassembles results in shard order.
+//
+// # Determinism contract
+//
+// Every stochastic input of a cell derives from ShardSeed(rootSeed,
+// scope, shard) — a pure function of the pool's root seed, the
+// scenario-local scope name, and the cell's dense index. Scheduling can
+// reorder *execution* but never *results*: Map writes each cell's value
+// into its own slot and aggregation walks slots in index order. A run
+// is therefore bit-identical at any worker count and on any backend.
+//
+// # Backends
+//
+// Three Backend implementations ship with the package:
+//
+//   - LocalBackend: the in-process goroutine pool (the default).
+//   - ExecBackend: subprocess workers (`stbpu-suite -worker`) fed
+//     CellSpec batches as length-prefixed JSON frames over stdio — the
+//     building block for multi-machine runs via ssh or a job runner.
+//   - MultiBackend: weighted round-robin across child backends with
+//     requeue on transport failure.
+//
+// Cells are addressable across processes as (scenario, params, scope,
+// shard, rootSeed), so a worker holding the same binary re-derives any
+// cell bit-identically; see docs/ARCHITECTURE.md "How a cell flows
+// through a backend".
+package harness

@@ -1,0 +1,633 @@
+package harness
+
+// Subprocess execution: ExecBackend ships CellSpec batches to worker
+// processes (`stbpu-suite -worker`) over a length-prefixed JSON protocol
+// on stdin/stdout and merges the CellResults they send back. A worker
+// executes a spec by looking the scenario up in its own registry and
+// re-running the scenario's decomposition with a capture backend that
+// runs only the requested shards — cells are pure functions of
+// (scenario, params, scope, shard, root seed), so the worker's results
+// are bit-identical to what the coordinator would have computed.
+//
+// The protocol is the building block for multi-machine runs: anything
+// that can pipe stdin/stdout to a process with the same binary — ssh, a
+// container runner, a job scheduler — can host a worker.
+//
+// Cache locality: each worker process generates its own traces into a
+// process-local tracestore.Store that persists across batches. The
+// coordinator's store is not consulted for remote cells, so a trace may
+// be generated once per worker instead of once per run — deterministic
+// generation keeps results identical, at the cost of duplicated
+// generation work (see internal/tracestore's package comment).
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stbpu/internal/tracestore"
+)
+
+// maxFrameBytes bounds a protocol frame so a corrupt length prefix
+// cannot trigger a giant allocation.
+const maxFrameBytes = 256 << 20
+
+// workerRequest is one coordinator → worker frame.
+type workerRequest struct {
+	Cells []CellSpec `json:"cells"`
+}
+
+// workerResponse is one worker → coordinator frame. Err reports a
+// batch-level failure (unknown scenario, params mismatch); per-cell
+// failures travel inside Results.
+type workerResponse struct {
+	Results []CellResult `json:"results,omitempty"`
+	Err     string       `json:"err,omitempty"`
+}
+
+// writeFrame emits a 4-byte big-endian length followed by the JSON
+// encoding of v.
+func writeFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(payload) > maxFrameBytes {
+		return fmt.Errorf("frame of %d bytes exceeds the %d-byte protocol bound", len(payload), maxFrameBytes)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed JSON frame into v. A clean EOF
+// before the header returns io.EOF; EOF mid-frame returns
+// io.ErrUnexpectedEOF.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameBytes {
+		return fmt.Errorf("frame of %d bytes exceeds the %d-byte protocol bound", n, maxFrameBytes)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	return json.Unmarshal(payload, v)
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator side.
+
+// execChunkTarget is how many chunks per worker a batch splits into, so
+// fast workers can steal from slow ones without per-cell round-trips.
+const execChunkTarget = 4
+
+// ExecBackend executes cells on a fleet of subprocess workers speaking
+// the length-prefixed JSON protocol. Workers are spawned lazily on the
+// first Run and live until Close; a worker that died is respawned on the
+// next Run.
+type ExecBackend struct {
+	// Command is the worker argv (nil means this executable with
+	// "-worker" appended — the stbpu-suite worker mode).
+	Command []string
+	// Env entries are appended to the inherited environment.
+	Env []string
+	// Workers is the subprocess count (<= 0 means 1).
+	Workers int
+
+	mu     sync.Mutex
+	procs  []*execWorker
+	closed bool
+
+	sink   atomic.Pointer[func(Cell)]
+	cells  atomic.Uint64
+	wallNS atomic.Int64
+}
+
+// Name implements Backend.
+func (b *ExecBackend) Name() string { return "exec" }
+
+func (b *ExecBackend) setSink(fn func(Cell)) { b.sink.Store(&fn) }
+
+func (b *ExecBackend) notify(c Cell) {
+	if fn := b.sink.Load(); fn != nil && *fn != nil {
+		(*fn)(c)
+	}
+}
+
+// BackendStats implements StatsReporter.
+func (b *ExecBackend) BackendStats() []BackendStats {
+	return []BackendStats{{
+		Backend: b.Name(),
+		Cells:   b.cells.Load(),
+		WallMS:  time.Duration(b.wallNS.Load()).Milliseconds(),
+	}}
+}
+
+// ensureStarted spawns (or respawns) the worker fleet.
+func (b *ExecBackend) ensureStarted() ([]*execWorker, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, errors.New("exec backend is closed")
+	}
+	n := b.Workers
+	if n <= 0 {
+		n = 1
+	}
+	argv := b.Command
+	if argv == nil {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("resolve worker executable: %w", err)
+		}
+		argv = []string{exe, "-worker"}
+	}
+	if len(argv) == 0 {
+		return nil, errors.New("exec backend has an empty worker command")
+	}
+	for len(b.procs) < n {
+		b.procs = append(b.procs, nil)
+	}
+	for i := 0; i < n; i++ {
+		if b.procs[i] != nil && !b.procs[i].dead.Load() {
+			continue
+		}
+		w, err := startExecWorker(i, argv, b.Env)
+		if err != nil {
+			return nil, fmt.Errorf("spawn worker %d: %w", i, err)
+		}
+		b.procs[i] = w
+	}
+	return append([]*execWorker(nil), b.procs[:n]...), nil
+}
+
+// Run implements Backend: the batch splits into chunks pulled by the
+// worker fleet; a dead or misbehaving worker fails the whole batch with
+// a root-caused error (MultiBackend can then requeue it elsewhere).
+func (b *ExecBackend) Run(ctx context.Context, specs []CellSpec) ([]CellResult, error) {
+	start := time.Now()
+	defer func() { b.wallNS.Add(int64(time.Since(start))) }()
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	procs, err := b.ensureStarted()
+	if err != nil {
+		return nil, err
+	}
+
+	chunkSize := (len(specs) + len(procs)*execChunkTarget - 1) / (len(procs) * execChunkTarget)
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	chunks := make(chan []CellSpec)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		defer close(chunks)
+		for off := 0; off < len(specs); off += chunkSize {
+			end := off + chunkSize
+			if end > len(specs) {
+				end = len(specs)
+			}
+			select {
+			case chunks <- specs[off:end]:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	specByShard := make(map[int]CellSpec, len(specs))
+	for _, s := range specs {
+		specByShard[s.Shard] = s
+	}
+
+	var (
+		mu      sync.Mutex
+		merged  []CellResult
+		firstEr error
+	)
+	var wg sync.WaitGroup
+	for _, w := range procs {
+		wg.Add(1)
+		go func(w *execWorker) {
+			defer wg.Done()
+			for chunk := range chunks {
+				results, err := w.roundTrip(ctx, chunk)
+				if err != nil {
+					mu.Lock()
+					if firstEr == nil {
+						firstEr = err
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+				mu.Lock()
+				merged = append(merged, results...)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstEr != nil {
+		// Nothing from this batch is counted or streamed: a router
+		// (MultiBackend) will requeue the whole batch elsewhere, and
+		// cells observed here would then be double-counted in
+		// Pool.Cells()/Report.Cells, breaking cross-backend byte
+		// identity on exactly the requeue path.
+		return nil, firstEr
+	}
+	sortResultsByShard(merged)
+	for i := range merged {
+		r := &merged[i]
+		b.cells.Add(1)
+		s := specByShard[r.Shard]
+		b.notify(Cell{
+			Backend: b.Name(), Scope: s.Scope, Shard: r.Shard, Seed: s.Seed,
+			Elapsed: time.Duration(r.ElapsedUS) * time.Microsecond, Err: r.CellErr(),
+		})
+	}
+	return merged, nil
+}
+
+// Close shuts the worker fleet down: stdin close asks each worker to
+// exit cleanly, and stragglers are killed.
+func (b *ExecBackend) Close() error {
+	b.mu.Lock()
+	procs := b.procs
+	b.procs = nil
+	b.closed = true
+	b.mu.Unlock()
+	var first error
+	for _, w := range procs {
+		if w == nil {
+			continue
+		}
+		if err := w.shutdown(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// execWorker is one subprocess speaking the frame protocol. A worker
+// handles one round-trip at a time (guarded by mu), so frames never
+// interleave even when Run is called concurrently.
+type execWorker struct {
+	id     int
+	cmd    *exec.Cmd
+	in     io.WriteCloser
+	out    *bufio.Reader
+	stderr *tailBuffer
+
+	mu       sync.Mutex
+	dead     atomic.Bool
+	killOnce sync.Once
+	waitOnce sync.Once
+	waitRes  error
+}
+
+func startExecWorker(id int, argv, env []string) (*execWorker, error) {
+	cmd := exec.Command(argv[0], argv[1:]...)
+	if len(env) > 0 {
+		cmd.Env = append(os.Environ(), env...)
+	}
+	in, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	tail := &tailBuffer{max: 4096}
+	cmd.Stderr = tail
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return &execWorker{id: id, cmd: cmd, in: in, out: bufio.NewReader(out), stderr: tail}, nil
+}
+
+// roundTrip sends one batch and waits for its response. Any transport
+// failure marks the worker dead and returns a root-caused error carrying
+// the worker's exit state and recent stderr, so a killed subprocess
+// surfaces as a diagnosis instead of a hang.
+func (w *execWorker) roundTrip(ctx context.Context, chunk []CellSpec) ([]CellResult, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead.Load() {
+		return nil, fmt.Errorf("exec worker %d is dead", w.id)
+	}
+
+	type outcome struct {
+		resp workerResponse
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		var o outcome
+		if o.err = writeFrame(w.in, workerRequest{Cells: chunk}); o.err == nil {
+			o.err = readFrame(w.out, &o.resp)
+		}
+		done <- o
+	}()
+
+	var o outcome
+	select {
+	case o = <-done:
+	case <-ctx.Done():
+		w.fail() // unblocks the writer/reader goroutine
+		<-done
+		return nil, ctx.Err()
+	}
+	if o.err != nil {
+		return nil, fmt.Errorf("exec worker %d: protocol failed (%v): %s", w.id, o.err, w.fail())
+	}
+	if o.resp.Err != "" {
+		return nil, fmt.Errorf("exec worker %d: %s", w.id, o.resp.Err)
+	}
+	return o.resp.Results, nil
+}
+
+// fail marks the worker dead, kills the process, and returns a one-line
+// post-mortem (exit state plus recent stderr).
+func (w *execWorker) fail() string {
+	w.dead.Store(true)
+	w.killOnce.Do(func() {
+		if w.cmd.Process != nil {
+			_ = w.cmd.Process.Kill()
+		}
+	})
+	state := "exit state unknown"
+	done := make(chan struct{})
+	go func() {
+		w.waitOnce.Do(func() { w.waitRes = w.cmd.Wait() })
+		close(done)
+	}()
+	select {
+	case <-done:
+		if w.waitRes != nil {
+			state = w.waitRes.Error()
+		} else {
+			state = "exited cleanly"
+		}
+	case <-time.After(2 * time.Second):
+	}
+	if tail := w.stderr.String(); tail != "" {
+		return fmt.Sprintf("worker %s; recent stderr: %q", state, tail)
+	}
+	return "worker " + state
+}
+
+// shutdown closes stdin (the worker's clean-exit signal) and reaps the
+// process, killing it if it lingers.
+func (w *execWorker) shutdown() error {
+	w.dead.Store(true)
+	_ = w.in.Close()
+	done := make(chan struct{})
+	go func() {
+		w.waitOnce.Do(func() { w.waitRes = w.cmd.Wait() })
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		w.killOnce.Do(func() {
+			if w.cmd.Process != nil {
+				_ = w.cmd.Process.Kill()
+			}
+		})
+		<-done
+	}
+	return nil
+}
+
+// tailBuffer keeps the last max bytes written, for stderr post-mortems.
+type tailBuffer struct {
+	mu  sync.Mutex
+	max int
+	buf []byte
+}
+
+func (t *tailBuffer) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf, p...)
+	if len(t.buf) > t.max {
+		t.buf = t.buf[len(t.buf)-t.max:]
+	}
+	return len(p), nil
+}
+
+func (t *tailBuffer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return string(t.buf)
+}
+
+// ---------------------------------------------------------------------------
+// Worker side.
+
+// WorkerOptions configures ServeWorker.
+type WorkerOptions struct {
+	// Workers is the in-process concurrency used to execute a batch's
+	// cells (<= 0 means GOMAXPROCS).
+	Workers int
+	// CacheBytes bounds the worker's process-local trace store
+	// (<= 0 means tracestore.DefaultMaxBytes).
+	CacheBytes int64
+}
+
+// ServeWorker runs the worker loop: read a CellSpec batch frame, execute
+// it, write the CellResult frame, until EOF on r. Workload traces come
+// from one process-local store that persists across batches.
+func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, opts WorkerOptions) error {
+	br := bufio.NewReader(r)
+	bw := bufio.NewWriter(w)
+	store := tracestore.New(opts.CacheBytes, nil)
+	for {
+		var req workerRequest
+		if err := readFrame(br, &req); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil // clean shutdown: coordinator closed stdin
+			}
+			return fmt.Errorf("worker: read request: %w", err)
+		}
+		var resp workerResponse
+		results, err := ExecuteCells(ctx, req.Cells, opts.Workers, store)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Results = results
+		}
+		if err := writeFrame(bw, resp); err != nil {
+			return fmt.Errorf("worker: write response: %w", err)
+		}
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("worker: flush response: %w", err)
+		}
+	}
+}
+
+// errCellsCaptured aborts a scenario Run once the capture backend has
+// executed every requested shard; the decomposition after the Map call
+// never runs on the worker (aggregation happens on the coordinator).
+var errCellsCaptured = errors.New("harness: requested cells captured")
+
+// ExecuteCells executes wire specs in this process: specs group by
+// (scenario, scope, params, root seed), and each group re-runs its
+// scenario's decomposition with a capture backend that executes only the
+// requested shards on a workers-wide local pool. Results come back in
+// wire form, ready to frame.
+func ExecuteCells(ctx context.Context, specs []CellSpec, workers int, store *tracestore.Store) ([]CellResult, error) {
+	type groupKey struct {
+		scenario, scope, params string
+		root                    uint64
+	}
+	keyOf := func(s CellSpec) (groupKey, error) {
+		pj, err := json.Marshal(s.Params)
+		if err != nil {
+			return groupKey{}, err
+		}
+		return groupKey{scenario: s.Scenario, scope: s.Scope, params: string(pj), root: s.RootSeed}, nil
+	}
+	groups := map[groupKey][]CellSpec{}
+	var order []groupKey
+	for _, s := range specs {
+		if s.Scenario == "" {
+			return nil, fmt.Errorf("spec %s/%d has no scenario: cells mapped outside RunAll are not addressable remotely", s.Scope, s.Shard)
+		}
+		k, err := keyOf(s)
+		if err != nil {
+			return nil, err
+		}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], s)
+	}
+
+	var out []CellResult
+	for _, k := range order {
+		group := groups[k]
+		scen, ok := Get(k.scenario)
+		if !ok {
+			return nil, fmt.Errorf("scenario %q is not registered in this worker", k.scenario)
+		}
+		results, err := captureScenarioCells(ctx, scen, group, workers, store)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, results...)
+	}
+	return out, nil
+}
+
+// captureScenarioCells re-runs one scenario's decomposition and captures
+// the requested shards of the requested scope.
+func captureScenarioCells(ctx context.Context, scen Scenario, group []CellSpec, workers int, store *tracestore.Store) ([]CellResult, error) {
+	scope := group[0].Scope
+	params := group[0].Params
+	want := make(map[int]bool, len(group))
+	for _, s := range group {
+		want[s.Shard] = true
+	}
+	cap := &captureBackend{scope: scope, want: want, inner: NewLocalBackend(workers)}
+	pool := NewPool(workers, group[0].RootSeed)
+	if store != nil {
+		pool.SetTraceStore(store)
+	}
+	pool.SetBackend(cap)
+	pool.beginScenario(scen.Name, params)
+	_, err := scen.Run(ctx, params, pool)
+	pool.endScenario()
+	if !cap.captured {
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s failed before reaching scope %q: %w", scen.Name, scope, err)
+		}
+		return nil, fmt.Errorf("scenario %s never mapped scope %q (params mismatch?)", scen.Name, scope)
+	}
+	if len(cap.results) != len(want) {
+		// A canceled context also stops the batch early — report the
+		// interrupt, not a bogus decomposition diagnosis.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// A failing cell legitimately stops the batch early; only a
+		// clean-but-short batch means the worker's decomposition disagrees
+		// with the coordinator's.
+		failed := false
+		for _, r := range cap.results {
+			if r.Err != "" {
+				failed = true
+				break
+			}
+		}
+		if !failed {
+			return nil, fmt.Errorf("scenario %s scope %q produced %d of %d requested cells (cell space mismatch)",
+				scen.Name, scope, len(cap.results), len(want))
+		}
+	}
+	return cap.results, nil
+}
+
+// captureBackend intercepts the Map call for one scope: it executes only
+// the wanted shards, stores their wire-encoded results, and aborts the
+// scenario Run with errCellsCaptured. Map calls for other scopes (a
+// multi-scope scenario) execute fully so later scopes stay reachable.
+type captureBackend struct {
+	scope string
+	want  map[int]bool
+	inner *LocalBackend
+
+	captured bool
+	results  []CellResult
+}
+
+func (c *captureBackend) Name() string { return "capture" }
+
+func (c *captureBackend) Close() error { return nil }
+
+func (c *captureBackend) Run(ctx context.Context, specs []CellSpec) ([]CellResult, error) {
+	if len(specs) == 0 || specs[0].Scope != c.scope {
+		return c.inner.Run(ctx, specs)
+	}
+	wanted := make([]CellSpec, 0, len(c.want))
+	for _, s := range specs {
+		if c.want[s.Shard] {
+			wanted = append(wanted, s)
+		}
+	}
+	results, err := c.inner.Run(ctx, wanted)
+	if err != nil {
+		return nil, err
+	}
+	for i := range results {
+		results[i].encodeWire()
+	}
+	c.captured = true
+	c.results = results
+	return nil, errCellsCaptured
+}

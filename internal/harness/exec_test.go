@@ -1,0 +1,310 @@
+package harness
+
+// Subprocess-backend tests re-exec this test binary as the worker: when
+// the worker-mode env var is set, TestMain serves the frame protocol on
+// stdio instead of running tests. Coordinator and worker therefore share
+// one binary and one scenario registry, exactly like stbpu-suite and
+// `stbpu-suite -worker`.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+const workerEnvVar = "STBPU_HARNESS_TEST_WORKER"
+
+// wireCell is a cell payload exercising float/uint64 wire fidelity.
+type wireCell struct {
+	Shard int
+	Seed  uint64
+	Val   float64
+}
+
+// registerExecScenarios installs the deterministic scenarios both the
+// coordinator tests and the re-exec'd worker need in their registries.
+func registerExecScenarios() {
+	Register(Scenario{
+		Name:        "_exec-wire",
+		Description: "exec-backend test scenario",
+		Defaults:    Params{Trials: 16},
+		Run: func(ctx context.Context, p Params, pool *Pool) (any, error) {
+			return Map(ctx, pool, "_exec-wire", p.Trials,
+				func(ctx context.Context, shard int, seed uint64) (wireCell, error) {
+					return wireCell{
+						Shard: shard,
+						Seed:  seed,
+						Val:   math.Sqrt(float64(seed%1e6)) / 3,
+					}, nil
+				})
+		},
+	})
+	Register(Scenario{
+		Name:        "_exec-failing",
+		Description: "exec-backend failing-cell scenario",
+		Defaults:    Params{Trials: 8},
+		Run: func(ctx context.Context, p Params, pool *Pool) (any, error) {
+			return Map(ctx, pool, "_exec-failing", p.Trials,
+				func(ctx context.Context, shard int, seed uint64) (int, error) {
+					if shard == 5 {
+						return 0, fmt.Errorf("shard %d detonated", shard)
+					}
+					return shard, nil
+				})
+		},
+	})
+}
+
+func TestMain(m *testing.M) {
+	switch os.Getenv(workerEnvVar) {
+	case "serve":
+		registerExecScenarios()
+		if err := ServeWorker(context.Background(), os.Stdin, os.Stdout, WorkerOptions{Workers: 1}); err != nil {
+			fmt.Fprintln(os.Stderr, "worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	case "die":
+		// Simulate a worker killed mid-batch: swallow one request, leave a
+		// trace on stderr, and vanish without answering.
+		var req workerRequest
+		_ = readFrame(os.Stdin, &req)
+		fmt.Fprintln(os.Stderr, "worker going down for the kill test")
+		os.Exit(3)
+	case "flaky":
+		// Serve two batches correctly, then die mid-protocol — yields
+		// exec Runs that partially succeeded before failing, the shape
+		// that must not double-count cells once MultiBackend requeues.
+		registerExecScenarios()
+		served := 0
+		for {
+			var req workerRequest
+			if err := readFrame(os.Stdin, &req); err != nil {
+				os.Exit(0)
+			}
+			if served >= 2 {
+				os.Exit(3)
+			}
+			served++
+			resp := workerResponse{}
+			if results, err := ExecuteCells(context.Background(), req.Cells, 1, nil); err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Results = results
+			}
+			if err := writeFrame(os.Stdout, resp); err != nil {
+				os.Exit(1)
+			}
+		}
+	}
+	registerExecScenarios()
+	os.Exit(m.Run())
+}
+
+// newTestExecBackend spawns workers by re-exec'ing this test binary.
+func newTestExecBackend(t *testing.T, workers int, mode string) *ExecBackend {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &ExecBackend{
+		Command: []string{exe},
+		Env:     []string{workerEnvVar + "=" + mode},
+		Workers: workers,
+	}
+	t.Cleanup(func() { b.Close() })
+	return b
+}
+
+func runWire(t *testing.T, pool *Pool) []Report {
+	t.Helper()
+	reports, err := RunAll(context.Background(), pool, Options{Filters: []string{"_exec-wire"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reports
+}
+
+// TestExecBackendMatchesLocal is the distributed determinism gate: the
+// same scenario on subprocess workers must marshal byte-identically to
+// the in-process run.
+func TestExecBackendMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocess workers")
+	}
+	local := runWire(t, NewPool(2, 1234))
+
+	pool := NewPool(2, 1234)
+	pool.SetBackend(newTestExecBackend(t, 2, "serve"))
+	remote := runWire(t, pool)
+
+	a, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("exec-backend results diverge from local:\nlocal:  %s\nremote: %s", a, b)
+	}
+	if remote[0].Cells != local[0].Cells {
+		t.Errorf("cell accounting differs: local %d, remote %d", local[0].Cells, remote[0].Cells)
+	}
+}
+
+// TestExecBackendPropagatesCellErrors checks an application-level cell
+// failure crosses the wire as that cell's error, not a transport fault.
+func TestExecBackendPropagatesCellErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocess workers")
+	}
+	pool := NewPool(2, 9)
+	pool.SetBackend(newTestExecBackend(t, 1, "serve"))
+	_, err := RunAll(context.Background(), pool, Options{Filters: []string{"_exec-failing"}})
+	if err == nil || !strings.Contains(err.Error(), "detonated") {
+		t.Fatalf("err = %v, want the detonating cell's error", err)
+	}
+}
+
+// TestExecBackendKilledWorkerSurfacesRootCause is the no-hang gate: a
+// worker that dies mid-batch must produce a diagnosable error promptly.
+func TestExecBackendKilledWorkerSurfacesRootCause(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocess workers")
+	}
+	pool := NewPool(2, 9)
+	pool.SetBackend(newTestExecBackend(t, 1, "die"))
+
+	type outcome struct {
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		_, err := RunAll(context.Background(), pool, Options{Filters: []string{"_exec-wire"}})
+		done <- outcome{err}
+	}()
+	select {
+	case o := <-done:
+		if o.err == nil {
+			t.Fatal("a killed worker produced no error")
+		}
+		msg := o.err.Error()
+		if !strings.Contains(msg, "exec worker 0") || !strings.Contains(msg, "going down for the kill test") {
+			t.Errorf("error lacks root cause (worker id + stderr): %v", o.err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("killed worker hung the run instead of failing")
+	}
+}
+
+// TestMixedRequeueCellAccounting: when exec workers fail batches that
+// already had partial results, requeue onto the local backend must leave
+// both the results and the cell accounting identical to a pure local
+// run — cells from a failed batch may not be counted or streamed.
+func TestMixedRequeueCellAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocess workers")
+	}
+	local := runWire(t, NewPool(2, 321))
+
+	multi := NewMultiBackend(
+		WeightedBackend{Backend: newTestExecBackend(t, 2, "flaky"), Weight: 1},
+		WeightedBackend{Backend: NewLocalBackend(2), Weight: 1},
+	)
+	pool := NewPool(2, 321)
+	pool.SetBackend(multi)
+	mixed := runWire(t, pool)
+
+	a, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("requeued mixed run diverges from local:\nlocal: %s\nmixed: %s", a, b)
+	}
+	if mixed[0].Cells != local[0].Cells {
+		t.Errorf("requeue double-counted cells: local %d, mixed %d", local[0].Cells, mixed[0].Cells)
+	}
+}
+
+// TestExecBackendRejectsAnonymousCells: Map calls outside RunAll carry
+// no scenario context, so wire backends must refuse them loudly.
+func TestExecBackendRejectsAnonymousCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocess workers")
+	}
+	pool := NewPool(1, 9)
+	pool.SetBackend(newTestExecBackend(t, 1, "serve"))
+	_, err := Map(context.Background(), pool, "anon", 2,
+		func(ctx context.Context, shard int, seed uint64) (int, error) { return shard, nil })
+	if err == nil || !strings.Contains(err.Error(), "not addressable") {
+		t.Fatalf("err = %v, want the not-addressable refusal", err)
+	}
+}
+
+// TestServeWorkerProtocolRoundTrip drives the worker loop in-process
+// over pipes: one request frame in, one result frame out, clean EOF
+// shutdown.
+func TestServeWorkerProtocolRoundTrip(t *testing.T) {
+	reqR, reqW := io.Pipe()
+	respR, respW := io.Pipe()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- ServeWorker(context.Background(), reqR, respW, WorkerOptions{Workers: 1}) }()
+
+	params := Params{Trials: 4}
+	specs := make([]CellSpec, params.Trials)
+	for i := range specs {
+		specs[i] = CellSpec{
+			Scenario: "_exec-wire", Params: params, Scope: "_exec-wire",
+			Shard: i, Seed: ShardSeed(42, "_exec-wire", i), RootSeed: 42,
+		}
+	}
+	writeDone := make(chan error, 1)
+	go func() { writeDone <- writeFrame(reqW, workerRequest{Cells: specs}) }()
+	var resp workerResponse
+	if err := readFrame(respR, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-writeDone; err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != "" {
+		t.Fatalf("worker error: %s", resp.Err)
+	}
+	if len(resp.Results) != params.Trials {
+		t.Fatalf("got %d results, want %d", len(resp.Results), params.Trials)
+	}
+	for i, r := range resp.Results {
+		var cell wireCell
+		if err := decodeInto(&resp.Results[i], &cell); err != nil {
+			t.Fatal(err)
+		}
+		if cell.Shard != r.Shard || cell.Seed != ShardSeed(42, "_exec-wire", r.Shard) {
+			t.Errorf("result %d inconsistent: %+v", i, cell)
+		}
+	}
+
+	reqW.Close()
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Errorf("ServeWorker returned %v on clean EOF", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("ServeWorker did not stop on EOF")
+	}
+}

@@ -1,16 +1,7 @@
-// Package harness is the scenario registry and parallel execution engine
-// behind every experiment driver in this repository. An experiment is
-// registered once as a named, parameterized Scenario; the engine shards
-// its (model × workload × trial) cell space across a worker pool and
-// reassembles results in shard order, so a run is bit-identical at any
-// worker count.
-//
-// Determinism contract: every stochastic input of a cell derives from
-// ShardSeed(rootSeed, scope, shard) — a pure function of the pool's root
-// seed, the scenario-local scope name, and the cell's dense index. Worker
-// scheduling can reorder *execution* but never *results*: Map writes each
-// cell's value into its own slot and aggregation walks slots in index
-// order.
+// Pool, Map, and the seeding scheme: the execution core of the package
+// (see doc.go for the package overview and docs/ARCHITECTURE.md for the
+// full picture).
+
 package harness
 
 import (
@@ -112,6 +103,8 @@ func fnv1a(s string) uint64 {
 // Cell is one completed unit of work, streamed to the pool's observer as
 // workers finish (completion order, not shard order).
 type Cell struct {
+	// Backend names the backend that executed the cell.
+	Backend string
 	// Scope is the scenario-local cell-space name passed to Map.
 	Scope string
 	// Shard is the cell's dense index within the scope.
@@ -134,6 +127,12 @@ type Pool struct {
 	mu       sync.Mutex
 	observer func(Cell)
 	traces   *tracestore.Store
+	backend  Backend
+	// scenario/params are the scenario context RunAll (or a worker's
+	// capture run) establishes around Scenario.Run, stamped into every
+	// CellSpec so wire backends can address cells by name.
+	scenario       string
+	scenarioParams Params
 
 	cells atomic.Uint64
 }
@@ -182,6 +181,58 @@ func NewPool(workers int, rootSeed uint64) *Pool {
 	return &Pool{workers: workers, rootSeed: rootSeed}
 }
 
+// SetBackend installs the backend Map schedules cells through (nil
+// reverts to the lazily created LocalBackend). Backends that stream
+// completed cells are wired to the pool's observer.
+func (p *Pool) SetBackend(b Backend) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s, ok := b.(cellSink); ok {
+		s.setSink(p.complete)
+	}
+	p.backend = b
+}
+
+// Backend returns the pool's backend, lazily creating a LocalBackend
+// sized to the pool's worker count.
+func (p *Pool) Backend() Backend {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.backend == nil {
+		lb := NewLocalBackend(p.workers)
+		lb.setSink(p.complete)
+		p.backend = lb
+	}
+	return p.backend
+}
+
+// beginScenario establishes the scenario context stamped into CellSpecs;
+// endScenario clears it. RunAll brackets every Scenario.Run with them.
+func (p *Pool) beginScenario(name string, params Params) {
+	p.mu.Lock()
+	p.scenario, p.scenarioParams = name, params
+	p.mu.Unlock()
+}
+
+func (p *Pool) endScenario() {
+	p.mu.Lock()
+	p.scenario, p.scenarioParams = "", Params{}
+	p.mu.Unlock()
+}
+
+func (p *Pool) scenarioContext() (string, Params) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.scenario, p.scenarioParams
+}
+
+// complete is the sink backends report finished cells to: it maintains
+// the pool's cell counter and feeds the observer.
+func (p *Pool) complete(c Cell) {
+	p.cells.Add(1)
+	p.observe(c)
+}
+
 // Default returns a GOMAXPROCS-wide pool with DefaultRootSeed.
 func Default() *Pool { return NewPool(0, DefaultRootSeed) }
 
@@ -213,10 +264,18 @@ func (p *Pool) observe(c Cell) {
 	}
 }
 
-// Map runs fn over the n-cell space named scope on the pool's workers and
-// returns the results in shard order. Each cell receives its ShardSeed.
-// The first error (lowest shard index) cancels the remaining cells and is
-// returned; a canceled ctx stops workers promptly and returns ctx.Err().
+// Map runs fn over the n-cell space named scope through the pool's
+// backend and returns the results in shard order. Each cell receives its
+// ShardSeed. The first error (lowest shard index) cancels the remaining
+// cells and is returned; a canceled ctx stops workers promptly and
+// returns ctx.Err().
+//
+// With the default LocalBackend the cell functions run in-process on the
+// pool's goroutine workers, exactly as before backends existed. With a
+// wire backend (ExecBackend, MultiBackend routing to one) the specs are
+// shipped by (scenario, params, scope, shard, root seed) and executed
+// remotely; Map merges whatever comes back into shard order, so results
+// are bit-identical regardless of which backend ran which cell.
 func Map[T any](ctx context.Context, p *Pool, scope string, n int, fn func(ctx context.Context, shard int, seed uint64) (T, error)) ([]T, error) {
 	if p == nil {
 		p = Default()
@@ -229,90 +288,86 @@ func Map[T any](ctx context.Context, p *Pool, scope string, n int, fn func(ctx c
 		return nil, err
 	}
 
-	workers := p.workers
-	if workers > n {
-		workers = n
+	scenario, params := p.scenarioContext()
+	erased := func(ctx context.Context, shard int, seed uint64) (any, error) {
+		return fn(ctx, shard, seed)
 	}
-
-	runCell := func(ctx context.Context, i int) error {
-		seed := ShardSeed(p.rootSeed, scope, i)
-		start := time.Now()
-		v, err := fn(ctx, i, seed)
-		out[i] = v
-		p.cells.Add(1)
-		p.observe(Cell{Scope: scope, Shard: i, Seed: seed, Elapsed: time.Since(start), Err: err})
-		return err
-	}
-
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			if err := runCell(ctx, i); err != nil {
-				return nil, fmt.Errorf("%s shard %d: %w", scope, i, err)
-			}
+	specs := make([]CellSpec, n)
+	for i := range specs {
+		specs[i] = CellSpec{
+			Scenario: scenario,
+			Params:   params,
+			Scope:    scope,
+			Shard:    i,
+			Seed:     ShardSeed(p.rootSeed, scope, i),
+			RootSeed: p.rootSeed,
+			fn:       erased,
 		}
-		return out, nil
 	}
 
-	outer := ctx
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
+	b := p.Backend()
+	results, runErr := b.Run(ctx, specs)
+	if runErr != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%s: %s backend: %w", scope, b.Name(), runErr)
+	}
 
+	got := make([]bool, n)
 	errs := make([]error, n)
-	jobs := make(chan int)
-	go func() {
-		defer close(jobs)
-		for i := 0; i < n; i++ {
-			select {
-			case jobs <- i:
-			case <-ctx.Done():
-				return
-			}
+	anyErr := false
+	for idx := range results {
+		r := &results[idx]
+		if r.Shard < 0 || r.Shard >= n {
+			return nil, fmt.Errorf("%s: %s backend returned out-of-range shard %d", scope, b.Name(), r.Shard)
 		}
-	}()
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				if ctx.Err() != nil {
-					return
-				}
-				if errs[i] = runCell(ctx, i); errs[i] != nil {
-					cancel() // stop handing out further shards
-				}
-			}
-		}()
-	}
-	wg.Wait()
-
-	// Report the lowest-indexed *root-cause* error: once a cell fails we
-	// cancel the inner context, so lower-indexed cells still in flight
-	// abort with context.Canceled — those are collateral, not the cause,
-	// as long as the caller's context is still live.
-	var collateral error
-	collateralShard := -1
-	for i, err := range errs {
-		if err == nil {
+		if got[r.Shard] {
+			return nil, fmt.Errorf("%s: %s backend returned duplicate results for shard %d", scope, b.Name(), r.Shard)
+		}
+		got[r.Shard] = true
+		if err := r.CellErr(); err != nil {
+			errs[r.Shard] = err
+			anyErr = true
 			continue
 		}
-		if errors.Is(err, context.Canceled) && outer.Err() == nil {
-			if collateral == nil {
-				collateral, collateralShard = err, i
-			}
-			continue
+		if err := decodeInto(r, &out[r.Shard]); err != nil {
+			return nil, fmt.Errorf("%s shard %d: %s backend: %w", scope, r.Shard, b.Name(), err)
 		}
-		return nil, fmt.Errorf("%s shard %d: %w", scope, i, err)
 	}
-	if err := outer.Err(); err != nil {
+
+	if anyErr {
+		// Report the lowest-indexed *root-cause* error: once a cell fails
+		// the backend cancels its remaining in-flight cells, so lower-
+		// indexed cells may abort with context.Canceled — those are
+		// collateral, not the cause, as long as the caller's context is
+		// still live.
+		var collateral error
+		collateralShard := -1
+		for i, err := range errs {
+			if err == nil {
+				continue
+			}
+			if errors.Is(err, context.Canceled) && ctx.Err() == nil {
+				if collateral == nil {
+					collateral, collateralShard = err, i
+				}
+				continue
+			}
+			return nil, fmt.Errorf("%s shard %d: %w", scope, i, err)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%s shard %d: %w", scope, collateralShard, collateral)
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if collateral != nil {
-		return nil, fmt.Errorf("%s shard %d: %w", scope, collateralShard, collateral)
+	for i, ok := range got {
+		if !ok {
+			return nil, fmt.Errorf("%s: %s backend returned no result for shard %d", scope, b.Name(), i)
+		}
 	}
 	return out, nil
 }

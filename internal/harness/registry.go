@@ -153,7 +153,12 @@ func RunAll(ctx context.Context, pool *Pool, opts Options) ([]Report, error) {
 		p := opts.Params.Merged(s.Defaults)
 		before := pool.Cells()
 		start := time.Now()
+		// The scenario context makes every CellSpec Map emits under this
+		// Run addressable by (scenario, params), which is what wire
+		// backends ship to workers.
+		pool.beginScenario(s.Name, p)
 		res, err := s.Run(ctx, p, pool)
+		pool.endScenario()
 		if err != nil {
 			return reports, fmt.Errorf("scenario %s: %w", s.Name, err)
 		}

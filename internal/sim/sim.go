@@ -1,17 +1,6 @@
-// Package sim is the trace-driven BPU simulator of §VII-B1: it replays
-// branch traces through protection models and reports OAE (overall
-// effective accuracy), direction/target prediction rates, and the event
-// counts the security analysis consumes.
-//
-// Five models reproduce Fig. 3:
-//
-//	Baseline      — unprotected Skylake-style BPU
-//	µcode-1       — IBPB+IBRS+STIBP: flush on context switches and kernel
-//	                entry, structures halved by STIBP partitioning
-//	µcode-2       — IBPB+IBRS: flush on context switches and kernel entry
-//	Conservative  — full 48-bit addresses end-to-end (halved BTB capacity),
-//	                per-entity PHT separation, no flushing
-//	STBPU         — secret-token remapping + encryption + re-randomization
+// Models, the replay loop, and Result accounting (see doc.go for the
+// package overview).
+
 package sim
 
 import (

@@ -1,0 +1,28 @@
+// Package tracestore is the cross-run trace cache of the simulation
+// layer (docs/ARCHITECTURE.md): a concurrency-safe, byte-bounded LRU of
+// generated workload traces with singleflight-deduplicated generation.
+// Before this package every scenario run carried its own per-run cache,
+// so a full stbpu-suite run regenerated the same (workload, records)
+// trace once per scenario; one shared Store amortizes generation across
+// the whole run while the byte bound keeps full-scale sweeps from
+// holding every trace forever.
+//
+// # Determinism
+//
+// Trace generation is a pure function of (name, records), so a cached
+// trace is bit-identical to a freshly generated one. Eviction can
+// therefore only change *when* a trace is rebuilt, never *what* replays
+// — the harness determinism contract (bit-identical results at any
+// worker count) holds under any byte budget, including zero.
+//
+// # Cache locality under distributed backends
+//
+// The same purity is what makes the store safe to *not* share: when the
+// harness runs cells on subprocess workers (harness.ExecBackend), each
+// worker process fills its own Store, persisted across batches, and the
+// coordinator's store sits idle. A hot trace may then be generated once
+// per worker rather than once per run — duplicated wall-clock work, but
+// never a result difference, and no trace bytes ever cross the wire.
+// Tune the trade-off by keeping workers few and long-lived (they
+// amortize generation across batches) rather than many and short-lived.
+package tracestore

@@ -1,16 +1,6 @@
-// Package tracestore is the cross-run trace cache behind the experiment
-// harness: a concurrency-safe, byte-bounded LRU of generated workload
-// traces with singleflight-deduplicated generation. Before this package
-// every scenario run carried its own per-run cache, so a full stbpu-suite
-// run regenerated the same (workload, records) trace once per scenario;
-// one shared Store amortizes generation across the whole run while the
-// byte bound keeps full-scale sweeps from holding every trace forever.
-//
-// Determinism: trace generation is a pure function of (name, records), so
-// a cached trace is bit-identical to a freshly generated one. Eviction can
-// therefore only change *when* a trace is rebuilt, never *what* replays —
-// the harness determinism contract (bit-identical results at any worker
-// count) holds under any byte budget, including zero.
+// The Store implementation: LRU bookkeeping, singleflight generation,
+// and stats (see doc.go for the package overview).
+
 package tracestore
 
 import (

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Fails if any internal/* package lacks a package comment ("// Package
+# <name> ..." in some non-test file). Package comments are the entry
+# point godoc and docs/ARCHITECTURE.md cross-reference; CI runs this so
+# new packages can't land undocumented.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+missing=0
+for dir in internal/*/; do
+  files=$(find "$dir" -maxdepth 1 -name '*.go' ! -name '*_test.go')
+  [ -z "$files" ] && continue
+  # shellcheck disable=SC2086
+  if ! grep -q -l '^// Package ' $files; then
+    echo "missing package comment: ${dir%/}" >&2
+    missing=1
+  fi
+done
+if [ "$missing" -ne 0 ]; then
+  echo 'add a "// Package <name> ..." comment (conventionally in doc.go)' >&2
+  exit 1
+fi
+echo "all internal packages have package comments"
