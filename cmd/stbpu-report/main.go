@@ -1,0 +1,331 @@
+// Command stbpu-report compares two runs of the suite metric by metric
+// and gates on regressions — the building block for a CI perf/accuracy
+// gate and the replacement for manual jq archaeology over suite
+// documents.
+//
+// Usage:
+//
+//	stbpu-report old.json new.json              # per-metric deltas
+//	stbpu-report -threshold 0.05 old new        # fail on >5% relative change
+//	stbpu-report -json old new                  # machine-readable diff
+//	stbpu-report run-a.jsonl run-b.jsonl        # raw run journals work too
+//
+// Each input is either a stbpu-suite JSON document (the -o output) or a
+// run journal (the -journal JSONL file; schema in docs/SUITE_JSON.md).
+// Suite documents flatten through the typed results pipeline
+// (internal/experiments' Tabler implementations); unknown scenarios and
+// journal cell values flatten generically, numeric leaf by numeric
+// leaf, so the tool keeps working on documents newer than itself.
+//
+// Exit status: 0 when every metric matches within the threshold (a run
+// diffed against itself always exits 0 with zero deltas), 1 when a
+// metric exceeds it or — by default — when metrics exist on only one
+// side (a run that silently lost scenarios must not compare green;
+// -missing allow tolerates intentionally different sets), 2 on usage
+// or input errors. The default threshold is 0 — any metric change
+// fails — because same-seed runs of this suite are deterministic
+// replicas; raise it when comparing across seeds or intentionally
+// different configurations.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"stbpu/internal/experiments"
+	"stbpu/internal/harness"
+	"stbpu/internal/results"
+)
+
+// suiteRun is the slice of a suite document this tool reads: the
+// scenario name plus its raw result, everything else ignored.
+type suiteRun struct {
+	Scenario string          `json:"scenario"`
+	Result   json.RawMessage `json:"result"`
+}
+
+// suiteDocIn is the loosely-parsed suite document.
+type suiteDocIn struct {
+	Suite string     `json:"suite"`
+	Runs  []suiteRun `json:"runs"`
+}
+
+// loadTable flattens one input file — suite document or run journal —
+// into a metrics table.
+func loadTable(path string) (results.Table, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return results.Table{}, err
+	}
+	var doc suiteDocIn
+	if err := json.Unmarshal(b, &doc); err == nil && doc.Suite == "stbpu-suite" {
+		return tableFromDoc(doc)
+	}
+	entries, err := harness.ReadJournal(path)
+	if err != nil {
+		return results.Table{}, fmt.Errorf("%s is neither a stbpu-suite document nor a run journal: %w", path, err)
+	}
+	return tableFromJournal(entries), nil
+}
+
+// tableFromDoc flattens a suite document through the typed pipeline,
+// falling back to generic JSON flattening for scenarios this binary
+// doesn't know.
+func tableFromDoc(doc suiteDocIn) (results.Table, error) {
+	var out results.Table
+	for _, run := range doc.Runs {
+		if tabler, err := experiments.DecodeResult(run.Scenario, run.Result); err == nil {
+			out.Rows = append(out.Rows, tabler.Table().WithScenario(run.Scenario).Rows...)
+			continue
+		}
+		var v any
+		if err := json.Unmarshal(run.Result, &v); err != nil {
+			return results.Table{}, fmt.Errorf("scenario %s: undecodable result: %w", run.Scenario, err)
+		}
+		var t results.Table
+		flattenJSON(&t, "", v)
+		out.Rows = append(out.Rows, t.WithScenario(run.Scenario).Rows...)
+	}
+	out.Sort()
+	return out, nil
+}
+
+// tableFromJournal flattens journal entries cell by cell: every numeric
+// leaf of a cell's value becomes one metric, addressed by scope/shard
+// (plus params and root seed when the journal mixes several, so cells
+// from different configurations never collide or shadow each other).
+// Duplicate full addresses (a resumed journal appended over its own
+// prefix) keep the first occurrence, matching harness.ResumeJournal.
+func tableFromJournal(entries []harness.JournalEntry) results.Table {
+	// One journal usually holds one configuration; only ambiguous label
+	// components are included, so the common case stays readable and two
+	// same-config journals key identically.
+	paramsOf := func(e harness.JournalEntry) string {
+		pj, err := harness.CanonicalParams(e.Params)
+		if err != nil {
+			return "?"
+		}
+		return pj
+	}
+	multiParams, multiSeeds := map[string]bool{}, map[uint64]bool{}
+	for _, e := range entries {
+		multiParams[paramsOf(e)] = true
+		multiSeeds[e.RootSeed] = true
+	}
+	var out results.Table
+	seen := map[string]bool{}
+	for _, e := range entries {
+		params := paramsOf(e)
+		addr := fmt.Sprintf("%s\x00%s\x00%d\x00%d\x00%s", e.Scenario, e.Scope, e.Shard, e.RootSeed, params)
+		if seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		var v any
+		if err := json.Unmarshal(e.Value, &v); err != nil {
+			continue // a value this binary cannot parse still isn't comparable
+		}
+		var t results.Table
+		flattenJSON(&t, "", v)
+		kv := []string{"scope", e.Scope, "shard", results.Itoa(e.Shard)}
+		if len(multiSeeds) > 1 {
+			kv = append(kv, "root_seed", fmt.Sprint(e.RootSeed))
+		}
+		if len(multiParams) > 1 {
+			kv = append(kv, "params", params)
+		}
+		cell := results.Labels(kv...)
+		for _, r := range t.Rows {
+			metric := r.Metric
+			if metric == "" {
+				metric = "value"
+			}
+			out.Rows = append(out.Rows, results.Row{Scenario: e.Scenario, Cell: cell, Metric: metric, Value: r.Value})
+		}
+	}
+	out.Sort()
+	return out
+}
+
+// flattenJSON walks an arbitrary decoded JSON value and emits one row
+// per numeric (or boolean, as 0/1) leaf, with the slash-joined path as
+// the metric name.
+func flattenJSON(t *results.Table, path string, v any) {
+	join := func(elem string) string {
+		if path == "" {
+			return elem
+		}
+		return path + "/" + elem
+	}
+	switch x := v.(type) {
+	case float64:
+		t.Add("", path, x)
+	case bool:
+		t.Add("", path, results.Bool01(x))
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			flattenJSON(t, join(k), x[k])
+		}
+	case []any:
+		for i, e := range x {
+			flattenJSON(t, join(results.Itoa(i)), e)
+		}
+	}
+	// Strings and nulls are labels, not metrics: identity already lives
+	// in the path.
+}
+
+// report renders the diff and returns the number of threshold
+// violations; a non-nil error means the output itself could not be
+// produced (tooling must not see a silent empty diff).
+func report(w io.Writer, oldPath, newPath string, d results.DiffResult, threshold float64, maxRows int, asJSON bool) (int, error) {
+	violations := d.Violations(threshold)
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		err := enc.Encode(struct {
+			Old        string          `json:"old"`
+			New        string          `json:"new"`
+			Threshold  float64         `json:"threshold"`
+			Compared   int             `json:"compared"`
+			Changed    []results.Delta `json:"changed"`
+			Violations int             `json:"violations"`
+			OnlyOld    []results.Row   `json:"only_old,omitempty"`
+			OnlyNew    []results.Row   `json:"only_new,omitempty"`
+		}{oldPath, newPath, threshold, len(d.Deltas), d.Changed(), len(violations), d.OnlyOld, d.OnlyNew})
+		return len(violations), err
+	}
+
+	changed := d.Changed()
+	fmt.Fprintf(w, "stbpu-report: %s -> %s\n", oldPath, newPath)
+	fmt.Fprintf(w, "%d metrics compared, %d changed, %d exceed threshold %g, %d only in old, %d only in new\n",
+		len(d.Deltas), len(changed), len(violations), threshold, len(d.OnlyOld), len(d.OnlyNew))
+	if len(changed) > 0 {
+		fmt.Fprintln(w)
+		g := results.Grid{LabelWidth: 64}
+		g.Row(w, "  metric", fmt.Sprintf("%14s", "old"), fmt.Sprintf("%14s", "new"),
+			fmt.Sprintf("%14s", "delta"), fmt.Sprintf("%10s", "rel"))
+		shown := 0
+		for _, x := range changed {
+			if shown >= maxRows {
+				fmt.Fprintf(w, "  ... %d more changed metrics not shown (-max-rows)\n", len(changed)-shown)
+				break
+			}
+			shown++
+			mark := " "
+			if math.Abs(x.Rel) > threshold {
+				mark = "!"
+			}
+			label := mark + " " + deltaLabel(x.Row)
+			g.Row(w, label, fmt.Sprintf("%14.6g", x.Old), fmt.Sprintf("%14.6g", x.New),
+				fmt.Sprintf("%+14.6g", x.Diff), relString(x.Rel))
+		}
+	}
+	for _, r := range d.OnlyOld {
+		fmt.Fprintf(w, "- only in old: %s\n", deltaLabel(r))
+	}
+	for _, r := range d.OnlyNew {
+		fmt.Fprintf(w, "+ only in new: %s\n", deltaLabel(r))
+	}
+	return len(violations), nil
+}
+
+// deltaLabel renders a row key for humans.
+func deltaLabel(r results.Row) string {
+	parts := make([]string, 0, 3)
+	if r.Scenario != "" {
+		parts = append(parts, r.Scenario)
+	}
+	if r.Cell != "" {
+		parts = append(parts, r.Cell)
+	}
+	parts = append(parts, r.Metric)
+	return strings.Join(parts, " ")
+}
+
+// relString formats a relative change, keeping ±Inf readable.
+func relString(rel float64) string {
+	if math.IsInf(rel, 0) {
+		if rel > 0 {
+			return fmt.Sprintf("%10s", "+inf")
+		}
+		return fmt.Sprintf("%10s", "-inf")
+	}
+	return fmt.Sprintf("%+9.3f%%", rel*100)
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main behind testable plumbing; it returns the process exit
+// status (0 clean, 1 violations, 2 errors).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("stbpu-report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 0, "max tolerated |relative change| per metric (0 = any change fails)")
+	missing := fs.String("missing", "fail", "metrics present in only one input: fail (exit 1) or allow")
+	asJSON := fs.Bool("json", false, "emit the diff as JSON")
+	maxRows := fs.Int("max-rows", 100, "cap the changed-metric rows printed (text mode)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: stbpu-report [flags] <old> <new>")
+		fmt.Fprintln(stderr, "inputs: stbpu-suite JSON documents (-o) or run journals (-journal)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	if *threshold < 0 {
+		fmt.Fprintln(stderr, "stbpu-report: -threshold must be >= 0")
+		return 2
+	}
+	if *missing != "fail" && *missing != "allow" {
+		fmt.Fprintf(stderr, "stbpu-report: -missing must be fail or allow, not %q\n", *missing)
+		return 2
+	}
+	oldPath, newPath := fs.Arg(0), fs.Arg(1)
+	oldTable, err := loadTable(oldPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "stbpu-report:", err)
+		return 2
+	}
+	newTable, err := loadTable(newPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "stbpu-report:", err)
+		return 2
+	}
+	d := results.Diff(oldTable, newTable)
+	violations, err := report(stdout, oldPath, newPath, d, *threshold, *maxRows, *asJSON)
+	if err != nil {
+		fmt.Fprintln(stderr, "stbpu-report: write diff:", err)
+		return 2
+	}
+	status := 0
+	if violations > 0 {
+		fmt.Fprintf(stderr, "stbpu-report: %d metric(s) exceed the %g threshold\n", violations, *threshold)
+		status = 1
+	}
+	// A gate that compares green while whole scenarios went missing is
+	// worse than no gate: one-sided metrics fail by default. Comparing
+	// intentionally different scenario sets is -missing allow.
+	if onesided := len(d.OnlyOld) + len(d.OnlyNew); onesided > 0 && *missing == "fail" {
+		fmt.Fprintf(stderr, "stbpu-report: %d metric(s) present in only one input (-missing allow to tolerate)\n", onesided)
+		status = 1
+	}
+	return status
+}

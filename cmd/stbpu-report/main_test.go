@@ -1,0 +1,243 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stbpu/internal/experiments"
+	"stbpu/internal/harness"
+)
+
+// writeDoc assembles a minimal suite document from live scenario
+// aggregates — the same shape stbpu-suite -o emits.
+func writeTestDoc(t *testing.T, path string, runs map[string]any) {
+	t.Helper()
+	doc := map[string]any{"suite": "stbpu-suite", "seed": 1, "runs": []any{}}
+	var list []any
+	for name, res := range runs {
+		list = append(list, map[string]any{"scenario": name, "result": res})
+	}
+	doc["runs"] = list
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSelfDiffIsCleanAndExitsZero is the acceptance smoke: a document
+// diffed against itself reports zero changed metrics and exits 0.
+func TestSelfDiffIsCleanAndExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.json")
+	writeTestDoc(t, path, map[string]any{
+		"thresholds": experiments.RunThresholds(0.05),
+		"gamma":      experiments.RunGamma(nil),
+	})
+	var out, errb bytes.Buffer
+	code := run([]string{path, path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("self-diff exit = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "0 changed") {
+		t.Errorf("self-diff reported changes:\n%s", out.String())
+	}
+}
+
+// TestRegressionGate: a metric moving beyond the threshold must flip
+// the exit status to 1; within the threshold it stays 0.
+func TestRegressionGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	base := experiments.RunThresholds(0.05)
+	writeTestDoc(t, oldPath, map[string]any{"thresholds": base})
+	// Degrade one metric by 20% under an unchanged key — a regression,
+	// not a reconfiguration.
+	worse := base
+	worse.MispThresh *= 1.2
+	writeTestDoc(t, newPath, map[string]any{"thresholds": worse})
+
+	var out, errb bytes.Buffer
+	if code := run([]string{oldPath, newPath}, &out, &errb); code != 1 {
+		t.Fatalf("changed run exit = %d (default threshold 0 must gate)\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "!") {
+		t.Errorf("violations not marked:\n%s", out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	// A 20% move passes a 50% threshold.
+	if code := run([]string{"-threshold", "0.5", oldPath, newPath}, &out, &errb); code != 0 {
+		t.Fatalf("within-threshold diff exit = %d, stderr: %s\n%s", code, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "1 changed") {
+		t.Errorf("within-threshold change not reported:\n%s", out.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeTestDoc(t, oldPath, map[string]any{"gamma": experiments.RunGamma([]float64{0.05})})
+	writeTestDoc(t, newPath, map[string]any{"gamma": experiments.RunGamma([]float64{0.05, 0.005})})
+
+	var out, errb bytes.Buffer
+	// The default gate fails on one-sided metrics; -missing allow is the
+	// explicit opt-out for intentionally different sweeps.
+	if code := run([]string{"-json", oldPath, newPath}, &out, &errb); code != 1 {
+		t.Fatalf("one-sided metrics did not gate: exit = %d", code)
+	}
+	out.Reset()
+	errb.Reset()
+	code := run([]string{"-json", "-missing", "allow", oldPath, newPath}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d (-missing allow must tolerate new-only rows): %s", code, errb.String())
+	}
+	var parsed struct {
+		Compared int               `json:"compared"`
+		OnlyNew  []json.RawMessage `json:"only_new"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &parsed); err != nil {
+		t.Fatalf("-json output unparseable: %v\n%s", err, out.String())
+	}
+	if parsed.Compared == 0 || len(parsed.OnlyNew) == 0 {
+		t.Errorf("diff shape wrong: %+v", parsed)
+	}
+}
+
+// TestJSONOutputSurvivesZeroBaselineChange: a metric leaving zero has
+// an infinite relative change, which JSON numbers cannot carry — the
+// machine-readable diff must still be produced (Rel as "+inf"), not
+// silently empty, exactly when a violation occurs.
+func TestJSONOutputSurvivesZeroBaselineChange(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeTestDoc(t, oldPath, map[string]any{"future": map[string]any{"succeeded": 0.0}})
+	writeTestDoc(t, newPath, map[string]any{"future": map[string]any{"succeeded": 1.0}})
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", oldPath, newPath}, &out, &errb); code != 1 {
+		t.Fatalf("zero-baseline violation exit = %d, want 1: %s", code, errb.String())
+	}
+	var parsed struct {
+		Changed []struct {
+			Rel any `json:"rel"`
+		} `json:"changed"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &parsed); err != nil {
+		t.Fatalf("-json output unparseable with infinite rel: %v\n%s", err, out.String())
+	}
+	if len(parsed.Changed) != 1 || parsed.Changed[0].Rel != "+inf" {
+		t.Errorf("infinite rel not encoded: %+v", parsed.Changed)
+	}
+}
+
+// TestJournalInputs: two run journals diff cell by cell.
+func TestJournalInputs(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name string, rootSeed uint64) string {
+		path := filepath.Join(dir, name)
+		j, err := harness.CreateJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := harness.NewPool(2, rootSeed)
+		pool.SetSink(j)
+		if _, err := harness.RunAll(context.Background(), pool, harness.Options{
+			Filters: []string{"gamma", "thresholds"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	a := mk("a.jsonl", 1)
+	b := mk("b.jsonl", 1)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{a, b}, &out, &errb); code != 0 {
+		t.Fatalf("same-seed journals differ: exit %d\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "0 changed") {
+		t.Errorf("journal self-comparison reported changes:\n%s", out.String())
+	}
+}
+
+// TestJournalMixedParamsKeptDistinct: a journal holding the same cell
+// address under two parameter sets (the documented re-parameterized
+// resume case) must expose both, not silently shadow one.
+func TestJournalMixedParamsKeptDistinct(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mixed.jsonl")
+	j, err := harness.CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := harness.CellSpec{Scenario: "s", Scope: "sc", Shard: 0, RootSeed: 1, Params: harness.Params{Records: 100}}
+	j.CellDone(harness.Cell{Backend: "local"}, spec, harness.CellResult{Shard: 0, Value: json.RawMessage("1.5")})
+	spec.Params.Records = 200
+	j.CellDone(harness.Cell{Backend: "local"}, spec, harness.CellResult{Shard: 0, Value: json.RawMessage("2.5")})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := harness.ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := tableFromJournal(entries)
+	if len(table.Rows) != 2 {
+		t.Fatalf("mixed-params journal flattened to %d rows, want 2: %+v", len(table.Rows), table.Rows)
+	}
+	if table.Rows[0].Cell == table.Rows[1].Cell {
+		t.Errorf("params missing from cell labels: %q", table.Rows[0].Cell)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"only-one-arg"}, &out, &errb); code != 2 {
+		t.Errorf("missing arg exit = %d, want 2", code)
+	}
+	if code := run([]string{"a", "b", "c"}, &out, &errb); code != 2 {
+		t.Errorf("extra arg exit = %d, want 2", code)
+	}
+	if code := run([]string{"-threshold", "-1", "a", "b"}, &out, &errb); code != 2 {
+		t.Errorf("negative threshold exit = %d, want 2", code)
+	}
+	if code := run([]string{"-missing", "bogus", "a", "b"}, &out, &errb); code != 2 {
+		t.Errorf("bad -missing mode exit = %d, want 2", code)
+	}
+	missing := filepath.Join(t.TempDir(), "absent.json")
+	if code := run([]string{missing, missing}, &out, &errb); code != 2 {
+		t.Errorf("missing file exit = %d, want 2", code)
+	}
+}
+
+// TestUnknownScenarioFallsBackToGenericFlatten: documents from a future
+// suite with scenarios this binary doesn't know must still diff.
+func TestUnknownScenarioFallsBackToGenericFlatten(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeTestDoc(t, oldPath, map[string]any{"future-scenario": map[string]any{"score": 1.5, "nested": []any{true, 2.0}}})
+	writeTestDoc(t, newPath, map[string]any{"future-scenario": map[string]any{"score": 1.5, "nested": []any{true, 3.0}}})
+
+	var out, errb bytes.Buffer
+	if code := run([]string{oldPath, newPath}, &out, &errb); code != 1 {
+		t.Fatalf("generic-flatten diff exit = %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "nested/1") {
+		t.Errorf("generic path metric missing:\n%s", out.String())
+	}
+}

@@ -8,18 +8,27 @@
 // Usage:
 //
 //	stbpu-suite -list                       # registered scenarios
+//	stbpu-suite -list-json                  # same, machine-readable with defaults
 //	stbpu-suite -run 'fig*' -records 40000  # glob filters, scale knobs
 //	stbpu-suite -run thresholds,gamma       # comma-separated filters
 //	stbpu-suite -quick -seed 1 -workers 4   # QuickScale, fixed seed/pool
 //	stbpu-suite -timing=false               # reproducible output bytes
 //	stbpu-suite -backend exec -exec-workers 4  # cells on 4 subprocesses
 //	stbpu-suite -worker                     # subprocess worker mode
+//	stbpu-suite -journal run.jsonl          # stream completed cells to a journal
+//	stbpu-suite -journal run.jsonl -resume  # skip cells the journal already holds
 //
 // With -backend exec the suite spawns `stbpu-suite -worker` subprocesses
 // that execute cell batches received as length-prefixed JSON frames on
 // stdin and answer results on stdout; -backend mixed splits cells
 // between the in-process pool and the subprocess fleet. Results are
 // bit-identical across backends (see docs/ARCHITECTURE.md).
+//
+// With -journal every completed cell is appended to a JSONL run journal
+// as it finishes; if the run dies, rerunning with -resume skips the
+// journaled cells and produces a final document byte-identical (modulo
+// timing and backend/trace-store stats) to an uninterrupted run, on any
+// backend. Compare two runs with cmd/stbpu-report.
 package main
 
 import (
@@ -64,6 +73,10 @@ type config struct {
 	cacheBytes  int64
 	backend     string // "local" (default), "exec", or "mixed"
 	execWorkers int
+	// journal streams completed cells to this JSONL file; with resume
+	// set, cells the file already holds are not re-executed.
+	journal string
+	resume  bool
 	// workerCmd/workerEnv override the subprocess command (tests re-exec
 	// their own binary); nil means this executable with -worker.
 	workerCmd []string
@@ -130,6 +143,31 @@ func runSuite(ctx context.Context, cfg config) (suiteDoc, error) {
 		pool.SetBackend(backend)
 		defer backend.Close()
 	}
+	var journal *harness.Journal
+	if cfg.journal != "" {
+		if cfg.resume {
+			journal, err = harness.ResumeJournal(cfg.journal)
+		} else {
+			// Refuse to truncate completed work: rerunning a crashed
+			// journaled command without -resume (the easiest mistake to
+			// make) must not destroy the very progress the journal exists
+			// to protect.
+			if st, statErr := os.Stat(cfg.journal); statErr == nil && st.Size() > 0 {
+				return suiteDoc{}, fmt.Errorf("journal %s already holds completed cells; pass -resume to continue it or remove the file to start over", cfg.journal)
+			}
+			journal, err = harness.CreateJournal(cfg.journal)
+		}
+		if err != nil {
+			return suiteDoc{}, fmt.Errorf("journal: %w", err)
+		}
+		defer journal.Close() // error-path close; idempotent
+		pool.SetSink(journal)
+		if cfg.verbose && journal.Loaded() > 0 {
+			fmt.Fprintf(cfg.stderr, "journal %s: resuming past %d completed cells\n", cfg.journal, journal.Loaded())
+		}
+	} else if cfg.resume {
+		return suiteDoc{}, fmt.Errorf("-resume requires -journal")
+	}
 	opts := harness.Options{
 		Filters: cfg.filters,
 		Params:  cfg.params,
@@ -158,6 +196,14 @@ func runSuite(ctx context.Context, cfg config) (suiteDoc, error) {
 		}
 	}
 	doc.TraceStore = store.Stats()
+	if journal != nil {
+		// A journal that stopped persisting must fail the run: the caller
+		// believes the file can resume this run, so a silent write failure
+		// would lose exactly the cells they counted on keeping.
+		if err := journal.Close(); err != nil {
+			return suiteDoc{}, fmt.Errorf("journal %s: %w", cfg.journal, err)
+		}
+	}
 	return doc, nil
 }
 
@@ -166,6 +212,27 @@ func writeDoc(w io.Writer, doc suiteDoc) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
+}
+
+// scenarioInfo is one -list-json entry: the machine-readable companion
+// to -list, so tooling can enumerate scenarios and their default
+// harness.Params without parsing the human-oriented listing.
+type scenarioInfo struct {
+	Name        string         `json:"name"`
+	Description string         `json:"description,omitempty"`
+	Defaults    harness.Params `json:"defaults"`
+}
+
+// writeScenarioListJSON emits the registry as a JSON array in name
+// order (harness.All's order).
+func writeScenarioListJSON(w io.Writer) error {
+	infos := make([]scenarioInfo, 0)
+	for _, s := range harness.All() {
+		infos = append(infos, scenarioInfo{Name: s.Name, Description: s.Description, Defaults: s.Defaults})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(infos)
 }
 
 func main() {
@@ -178,6 +245,7 @@ func main() {
 func run() error {
 	var (
 		list      = flag.Bool("list", false, "list registered scenarios and exit")
+		listJSON  = flag.Bool("list-json", false, "list registered scenarios with default params as JSON and exit")
 		runF      = flag.String("run", "", "comma-separated scenario glob filters (empty = all)")
 		seed      = flag.Uint64("seed", harness.DefaultRootSeed, "root seed; every cell seed derives from it")
 		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
@@ -193,6 +261,8 @@ func run() error {
 		backend   = flag.String("backend", "local", "cell execution backend: local, exec (subprocess workers), or mixed")
 		execW     = flag.Int("exec-workers", 2, "subprocess worker count for -backend exec/mixed")
 		worker    = flag.Bool("worker", false, "run as a subprocess worker: execute length-prefixed JSON cell batches from stdin")
+		journalF  = flag.String("journal", "", "stream completed cells to this JSONL run journal (schema: docs/SUITE_JSON.md)")
+		resume    = flag.Bool("resume", false, "load the -journal file first and skip cells it already holds")
 		timing    = flag.Bool("timing", true, "record wall-clock timing (disable for byte-stable output)")
 		verbose   = flag.Bool("v", false, "stream per-cell progress to stderr")
 		out       = flag.String("o", "", "write the JSON document to this file (default stdout)")
@@ -214,6 +284,9 @@ func run() error {
 		}
 		return nil
 	}
+	if *listJSON {
+		return writeScenarioListJSON(os.Stdout)
+	}
 
 	cfg := config{
 		seed:        *seed,
@@ -221,6 +294,8 @@ func run() error {
 		cacheBytes:  *cacheB,
 		backend:     *backend,
 		execWorkers: *execW,
+		journal:     *journalF,
+		resume:      *resume,
 		timing:      *timing,
 		verbose:     *verbose,
 		stderr:      os.Stderr,

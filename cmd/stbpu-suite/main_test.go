@@ -3,11 +3,13 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"stbpu/internal/harness"
@@ -116,18 +118,261 @@ func TestExecBackendMatchesLocalGolden(t *testing.T) {
 		t.Errorf("exec run backend stats implausible: %+v", docRemote.Backends)
 	}
 	// Normalize the blocks the comparison is explicitly modulo of.
-	docLocal.Backends, docRemote.Backends = nil, nil
-	docLocal.TraceStore, docRemote.TraceStore = tracestore.Stats{}, tracestore.Stats{}
+	normalizePlacement(&docLocal)
+	normalizePlacement(&docRemote)
+	if !bytes.Equal(docBytes(t, docLocal), docBytes(t, docRemote)) {
+		t.Error("exec-backend suite output diverges from local")
+	}
+}
 
-	var a, b bytes.Buffer
-	if err := writeDoc(&a, docLocal); err != nil {
+// TestExecResumeAllScenarios widens the exec + resume byte-identity
+// gate to every registered scenario at tiny scale — the golden subset
+// (fig3/thresholds/covert) never touches fig6Cell, ittageCell, or the
+// other cell types whose wire fidelity would silently rot if a field
+// lost its export.
+func TestExecResumeAllScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every scenario, spawns subprocess workers")
+	}
+	exe, err := os.Executable()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := writeDoc(&b, docRemote); err != nil {
+	tiny := config{
+		seed:    3,
+		workers: 2,
+		timing:  false,
+		stderr:  io.Discard,
+		params: harness.Params{
+			Records: 8000, MaxWorkloads: 2, MaxPairs: 2,
+			Trials: 2, Bits: 32, Budget: 200,
+		},
+	}
+	docLocal, err := runSuite(context.Background(), tiny)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(a.Bytes(), b.Bytes()) {
-		t.Errorf("exec-backend suite output diverges from local (%d vs %d bytes)", a.Len(), b.Len())
+
+	// Journal a full local run, keep a prefix (a killed run), then
+	// resume it on the exec backend: every scenario's remaining cells
+	// cross the wire AND splice against journaled ones.
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+	journaled := tiny
+	journaled.journal = journal
+	if _, err := runSuite(context.Background(), journaled); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(b, []byte("\n"))
+	if err := os.WriteFile(journal, bytes.Join(lines[:len(lines)/2], nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resumed := tiny
+	resumed.journal = journal
+	resumed.resume = true
+	resumed.backend = "exec"
+	resumed.execWorkers = 2
+	resumed.workerCmd = []string{exe}
+	resumed.workerEnv = []string{workerEnvVar + "=1"}
+	docResumed, err := runSuite(context.Background(), resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docResumed.Runs) < 12 {
+		t.Fatalf("only %d scenarios ran", len(docResumed.Runs))
+	}
+	normalizePlacement(&docLocal)
+	normalizePlacement(&docResumed)
+	if !bytes.Equal(docBytes(t, docLocal), docBytes(t, docResumed)) {
+		t.Error("exec-resumed all-scenario document diverges from the local run")
+	}
+}
+
+// normalizePlacement zeroes the blocks that legitimately differ when
+// the same cells run in different places (or not at all, on resume):
+// per-backend stats and the coordinator's trace-store counters.
+func normalizePlacement(doc *suiteDoc) {
+	doc.Backends = nil
+	doc.TraceStore = tracestore.Stats{}
+}
+
+func docBytes(t *testing.T, doc suiteDoc) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeDoc(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestResumeProducesIdenticalDocument is the resume acceptance gate at
+// the suite level: a journaled run interrupted partway (here simulated
+// by truncating the journal to a prefix, the exact artifact a kill
+// leaves) and restarted with -resume must produce a final document
+// byte-identical to an uninterrupted run, modulo placement stats.
+func TestResumeProducesIdenticalDocument(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "run.jsonl")
+
+	full := goldenConfig()
+	full.journal = journal
+	docFull, err := runSuite(context.Background(), full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep a prefix of the journal — a run that died partway through.
+	b, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(b, []byte("\n"))
+	cut := len(lines) * 2 / 3
+	if err := os.WriteFile(journal, bytes.Join(lines[:cut], nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := goldenConfig()
+	resumed.journal = journal
+	resumed.resume = true
+	docResumed, err := runSuite(context.Background(), resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	normalizePlacement(&docFull)
+	normalizePlacement(&docResumed)
+	if !bytes.Equal(docBytes(t, docFull), docBytes(t, docResumed)) {
+		t.Error("resumed document differs from the uninterrupted run")
+	}
+
+	// The journal must be whole again after the resume.
+	entries, err := harness.ReadJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(lines)-1 { // SplitAfter leaves a trailing empty slice
+		t.Errorf("resumed journal holds %d entries, want %d", len(entries), len(lines)-1)
+	}
+}
+
+// TestResumeExecBackendIdentical runs the same gate with cells on
+// subprocess workers: journal entries recorded by a local run must
+// satisfy an exec-backend resume and vice versa — the journal is keyed
+// by cell address, which is backend-agnostic.
+func TestResumeExecBackendIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocess workers")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "run.jsonl")
+
+	local := goldenConfig()
+	docLocal, err := runSuite(context.Background(), local)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pass 1 on exec workers, journaled, covering a scenario subset —
+	// a sweep that died between scenarios.
+	pass1 := goldenConfig()
+	pass1.filters = []string{"fig3"}
+	pass1.journal = journal
+	pass1.backend = "exec"
+	pass1.execWorkers = 2
+	pass1.workerCmd = []string{exe}
+	pass1.workerEnv = []string{workerEnvVar + "=1"}
+	if _, err := runSuite(context.Background(), pass1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pass 2 resumes the full set on the exec backend.
+	pass2 := goldenConfig()
+	pass2.journal = journal
+	pass2.resume = true
+	pass2.backend = "exec"
+	pass2.execWorkers = 2
+	pass2.workerCmd = []string{exe}
+	pass2.workerEnv = []string{workerEnvVar + "=1"}
+	docResumed, err := runSuite(context.Background(), pass2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	normalizePlacement(&docLocal)
+	normalizePlacement(&docResumed)
+	if !bytes.Equal(docBytes(t, docLocal), docBytes(t, docResumed)) {
+		t.Error("exec-backend resumed document differs from a local uninterrupted run")
+	}
+}
+
+func TestResumeRequiresJournal(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.resume = true
+	if _, err := runSuite(context.Background(), cfg); err == nil {
+		t.Error("-resume without -journal was accepted")
+	}
+}
+
+// TestJournalRefusesToClobberWithoutResume: rerunning a crashed
+// journaled command without -resume must not truncate the completed
+// cells the journal exists to protect.
+func TestJournalRefusesToClobberWithoutResume(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+	cfg := goldenConfig()
+	cfg.journal = journal
+	if _, err := runSuite(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = runSuite(context.Background(), cfg) // same command, -resume forgotten
+	if err == nil || !strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("non-empty journal clobbered without -resume: err = %v", err)
+	}
+	after, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("refused run still modified the journal")
+	}
+}
+
+func TestListJSONEnumeratesScenarios(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeScenarioListJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var infos []scenarioInfo
+	if err := json.Unmarshal(buf.Bytes(), &infos); err != nil {
+		t.Fatalf("-list-json output is not valid JSON: %v", err)
+	}
+	byName := map[string]scenarioInfo{}
+	for _, s := range infos {
+		byName[s.Name] = s
+	}
+	fig3, ok := byName["fig3"]
+	if !ok {
+		t.Fatalf("fig3 missing from %d scenarios", len(infos))
+	}
+	if fig3.Defaults.Records != 120_000 {
+		t.Errorf("fig3 default records = %d", fig3.Defaults.Records)
+	}
+	if fig6 := byName["fig6"]; len(fig6.Defaults.Sweep) == 0 {
+		t.Errorf("fig6 default sweep missing: %+v", fig6.Defaults)
+	}
+	if len(infos) < 12 {
+		t.Errorf("only %d scenarios listed", len(infos))
 	}
 }
 

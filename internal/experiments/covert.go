@@ -14,6 +14,7 @@ import (
 
 	"stbpu/internal/attacks"
 	"stbpu/internal/harness"
+	"stbpu/internal/results"
 	"stbpu/internal/rng"
 )
 
@@ -96,14 +97,17 @@ func RunCovertComparisonCtx(ctx context.Context, p harness.Params, pool *harness
 	return res, nil
 }
 
-// Render writes the channel comparison as a text table.
+// Render writes the channel comparison as a text table (shared
+// renderer: results.Grid).
 func (r CovertResult) Render(w io.Writer) {
 	fmt.Fprintf(w, "PHT covert channel, %d bits per run\n", r.Bits)
-	fmt.Fprintf(w, "%-14s %10s %12s %16s %8s\n",
-		"model", "error", "bits/symbol", "bits/krecord", "rerand")
+	g := results.Grid{LabelWidth: 14}
+	g.Row(w, "model", fmt.Sprintf("%10s", "error"), fmt.Sprintf("%12s", "bits/symbol"),
+		fmt.Sprintf("%16s", "bits/krecord"), fmt.Sprintf("%8s", "rerand"))
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%-14s %10.3f %12.3f %16.3f %8d\n",
-			row.Model, row.ErrorRate, row.Capacity, row.Bandwidth, row.Rerandomizations)
+		g.Row(w, row.Model, fmt.Sprintf("%10.3f", row.ErrorRate),
+			fmt.Sprintf("%12.3f", row.Capacity), fmt.Sprintf("%16.3f", row.Bandwidth),
+			fmt.Sprintf("%8d", row.Rerandomizations))
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"stbpu/internal/core"
 	"stbpu/internal/defenses"
 	"stbpu/internal/harness"
+	"stbpu/internal/results"
 	"stbpu/internal/sim"
 	"stbpu/internal/stats"
 )
@@ -124,25 +125,15 @@ func RunDefenseAccuracyCtx(ctx context.Context, p harness.Params, pool *harness.
 	return res, nil
 }
 
-// Render writes the accuracy comparison as a text table.
+// Render writes the accuracy comparison as a text table (shared
+// renderer: results.Grid).
 func (r DefenseAccuracyResult) Render(w io.Writer) {
-	fmt.Fprintf(w, "%-24s", "workload")
-	for _, m := range r.Models {
-		fmt.Fprintf(w, " %12s", m)
-	}
-	fmt.Fprintln(w)
+	g := results.Grid{LabelWidth: 24}
+	g.Row(w, "workload", results.Cells("%12s", r.Models...)...)
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%-24s", row.Workload)
-		for i := range r.Models {
-			fmt.Fprintf(w, " %12.3f", row.Normalized[i])
-		}
-		fmt.Fprintln(w)
+		g.Row(w, row.Workload, results.Cells("%12.3f", row.Normalized...)...)
 	}
-	fmt.Fprintf(w, "%-24s", "AVG (normalized OAE)")
-	for i := range r.Models {
-		fmt.Fprintf(w, " %12.3f", r.AvgNormalized[i])
-	}
-	fmt.Fprintln(w)
+	g.Row(w, "AVG (normalized OAE)", results.Cells("%12.3f", r.AvgNormalized...)...)
 }
 
 // DefenseMatrixCell is one (attack, model) outcome.
@@ -298,23 +289,21 @@ func RunDefenseMatrixCtx(ctx context.Context, p harness.Params, pool *harness.Po
 	return res, nil
 }
 
-// Render writes the matrix with one row per attack.
+// Render writes the matrix with one row per attack (shared renderer:
+// results.Grid).
 func (r DefenseMatrixResult) Render(w io.Writer) {
-	fmt.Fprintf(w, "%-18s", "attack")
-	for _, m := range r.Models {
-		fmt.Fprintf(w, " %12s", m)
-	}
-	fmt.Fprintln(w)
+	g := results.Grid{LabelWidth: 18}
+	g.Row(w, "attack", results.Cells("%12s", r.Models...)...)
 	for a, name := range r.Attacks {
-		fmt.Fprintf(w, "%-18s", name)
+		cells := make([]string, len(r.Models))
 		for m := range r.Models {
-			cell := "stopped"
+			verdict := "stopped"
 			if r.Cells[a][m].Succeeded {
-				cell = "OPEN"
+				verdict = "OPEN"
 			}
-			fmt.Fprintf(w, " %12s", cell)
+			cells[m] = fmt.Sprintf("%12s", verdict)
 		}
-		fmt.Fprintln(w)
+		g.Row(w, name, cells...)
 	}
 }
 

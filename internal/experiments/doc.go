@@ -9,8 +9,11 @@
 // through harness.Map).
 //
 // Each Run* function returns a structured result with a Render method
-// producing the same rows/series the paper reports; EXPERIMENTS.md
-// records paper-vs-measured.
+// (built on results.Grid, the shared table renderer) producing the same
+// rows/series the paper reports, and a Table method flattening it into
+// a results.Table so cmd/stbpu-report can diff any two runs metric by
+// metric (tables.go holds the Tabler implementations and the typed
+// DecodeResult used to reload suite documents).
 //
 // Two conventions keep cells distributable (docs/ARCHITECTURE.md "The
 // determinism contract"):

@@ -15,6 +15,7 @@ import (
 	"stbpu/internal/core"
 	"stbpu/internal/cpu"
 	"stbpu/internal/harness"
+	"stbpu/internal/results"
 	"stbpu/internal/sim"
 	"stbpu/internal/stats"
 	"stbpu/internal/token"
@@ -128,26 +129,19 @@ func RunFig3Ctx(ctx context.Context, p harness.Params, pool *harness.Pool) (Fig3
 	return res, nil
 }
 
-// Render writes the figure as a text table.
+// Render writes the figure as a text table (shared renderer: results.Grid).
 func (r Fig3Result) Render(w io.Writer) {
 	kinds := sim.Fig3Kinds()
-	fmt.Fprintf(w, "%-24s", "workload")
-	for _, k := range kinds {
-		fmt.Fprintf(w, " %18s", k)
-	}
-	fmt.Fprintln(w)
+	g := results.Grid{LabelWidth: 24}
+	g.Row(w, "workload", results.Cells("%18s", kinds...)...)
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%-24s", row.Workload)
+		cells := make([]string, len(kinds))
 		for i := range kinds {
-			fmt.Fprintf(w, " %8.3f(%7.3f)", row.OAE[i], row.Normalized[i])
+			cells[i] = fmt.Sprintf("%8.3f(%7.3f)", row.OAE[i], row.Normalized[i])
 		}
-		fmt.Fprintln(w)
+		g.Row(w, row.Workload, cells...)
 	}
-	fmt.Fprintf(w, "%-24s", "AVG (normalized)")
-	for i := range kinds {
-		fmt.Fprintf(w, " %18.3f", r.AvgNormalized[i])
-	}
-	fmt.Fprintln(w)
+	g.Row(w, "AVG (normalized)", results.Cells("%18.3f", r.AvgNormalized[:]...)...)
 }
 
 // ---------------------------------------------------------------------------
@@ -257,25 +251,24 @@ func avgFig4Cells[T any](rows []T, cells func(T) [4]Fig4Cell) [4]Fig4Cell {
 	return avg
 }
 
-// Render writes the figure as a text table.
+// fig4TripleCells formats the per-predictor (dir, tgt, ipc) triple the
+// Fig. 4 and Fig. 5 tables share.
+func fig4TripleCells(cs [4]Fig4Cell) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = fmt.Sprintf("%+0.4f %+0.4f %0.3f", c.DirReduction, c.TgtReduction, c.NormIPC)
+	}
+	return out
+}
+
+// Render writes the figure as a text table (shared renderer: results.Grid).
 func (r Fig4Result) Render(w io.Writer) {
-	fmt.Fprintf(w, "%-12s", "workload")
-	for _, d := range Fig4Dirs() {
-		fmt.Fprintf(w, " | %s dir/tgt/ipc", d)
-	}
-	fmt.Fprintln(w)
+	g := results.Grid{LabelWidth: 12, Sep: " | "}
+	g.Row(w, "workload", results.Cells("%s dir/tgt/ipc", Fig4Dirs()...)...)
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%-12s", row.Workload)
-		for _, c := range row.Cells {
-			fmt.Fprintf(w, " | %+0.4f %+0.4f %0.3f", c.DirReduction, c.TgtReduction, c.NormIPC)
-		}
-		fmt.Fprintln(w)
+		g.Row(w, row.Workload, fig4TripleCells(row.Cells)...)
 	}
-	fmt.Fprintf(w, "%-12s", "AVG")
-	for _, c := range r.Avg {
-		fmt.Fprintf(w, " | %+0.4f %+0.4f %0.3f", c.DirReduction, c.TgtReduction, c.NormIPC)
-	}
-	fmt.Fprintln(w)
+	g.Row(w, "AVG", fig4TripleCells(r.Avg)...)
 }
 
 // ---------------------------------------------------------------------------
@@ -356,25 +349,14 @@ func RunFig5Ctx(ctx context.Context, p harness.Params, pool *harness.Pool) (Fig5
 	return res, nil
 }
 
-// Render writes the figure as a text table.
+// Render writes the figure as a text table (shared renderer: results.Grid).
 func (r Fig5Result) Render(w io.Writer) {
-	fmt.Fprintf(w, "%-26s", "pair")
-	for _, d := range Fig4Dirs() {
-		fmt.Fprintf(w, " | %s dir/tgt/hm-ipc", d)
-	}
-	fmt.Fprintln(w)
+	g := results.Grid{LabelWidth: 26, Sep: " | "}
+	g.Row(w, "pair", results.Cells("%s dir/tgt/hm-ipc", Fig4Dirs()...)...)
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%-26s", row.Pair[0]+"_"+row.Pair[1])
-		for _, c := range row.Cells {
-			fmt.Fprintf(w, " | %+0.4f %+0.4f %0.3f", c.DirReduction, c.TgtReduction, c.NormIPC)
-		}
-		fmt.Fprintln(w)
+		g.Row(w, row.Pair[0]+"_"+row.Pair[1], fig4TripleCells(row.Cells)...)
 	}
-	fmt.Fprintf(w, "%-26s", "AVG")
-	for _, c := range r.Avg {
-		fmt.Fprintf(w, " | %+0.4f %+0.4f %0.3f", c.DirReduction, c.TgtReduction, c.NormIPC)
-	}
-	fmt.Fprintln(w)
+	g.Row(w, "AVG", fig4TripleCells(r.Avg)...)
 }
 
 // ---------------------------------------------------------------------------
@@ -500,11 +482,14 @@ func RunFig6Ctx(ctx context.Context, p harness.Params, pool *harness.Pool) (Fig6
 	return res, nil
 }
 
-// Render writes the sweep.
+// Render writes the sweep (shared renderer: results.Grid).
 func (r Fig6Result) Render(w io.Writer) {
-	fmt.Fprintf(w, "%-10s %-10s %-10s %s\n", "r", "accuracy", "norm-IPC", "rerandomizations")
+	g := results.Grid{LabelWidth: 10}
+	g.Row(w, "r", append(results.Cells("%-10s", "accuracy", "norm-IPC"), "rerandomizations")...)
 	for _, p := range r.Points {
-		fmt.Fprintf(w, "%-10.0e %-10.3f %-10.3f %d\n", p.R, p.Accuracy, p.NormIPC, p.Rerands)
+		g.Row(w, fmt.Sprintf("%.0e", p.R),
+			fmt.Sprintf("%-10.3f", p.Accuracy), fmt.Sprintf("%-10.3f", p.NormIPC),
+			fmt.Sprintf("%d", p.Rerands))
 	}
 }
 
@@ -531,13 +516,14 @@ func RunThresholds(r float64) ThresholdReport {
 	}
 }
 
-// Render writes the report.
+// Render writes the report (shared renderer: results.Grid).
 func (t ThresholdReport) Render(w io.Writer) {
 	rows := append([]analysis.Complexity(nil), t.Complexities...)
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Events < rows[j].Events })
-	fmt.Fprintf(w, "%-44s %-16s %s\n", "attack", "metric", "events (50% success)")
+	g := results.Grid{LabelWidth: 44}
+	g.Row(w, "attack", fmt.Sprintf("%-16s", "metric"), "events (50% success)")
 	for _, c := range rows {
-		fmt.Fprintf(w, "%-44s %-16s %.4g\n", c.Attack, c.Metric, c.Events)
+		g.Row(w, c.Attack, fmt.Sprintf("%-16s", c.Metric), fmt.Sprintf("%.4g", c.Events))
 	}
 	fmt.Fprintf(w, "\nthresholds at r=%g: mispredictions %.4g, evictions %.4g\n",
 		t.R, t.MispThresh, t.EvictThresh)
@@ -564,12 +550,16 @@ func RunGamma(rs []float64) GammaResult {
 	return GammaResult{Rows: analysis.GammaSweep(rs)}
 }
 
-// Render writes the sweep.
+// Render writes the sweep (shared renderer: results.Grid).
 func (g GammaResult) Render(w io.Writer) {
-	fmt.Fprintf(w, "%-10s %14s %14s %14s %16s\n",
-		"r", "misp Γ", "evict Γ", "P(epoch)", "epochs to 50%")
+	grid := results.Grid{LabelWidth: 10}
+	grid.Row(w, "r", append(results.Cells("%14s", "misp Γ", "evict Γ", "P(epoch)"),
+		fmt.Sprintf("%16s", "epochs to 50%"))...)
 	for _, row := range g.Rows {
-		fmt.Fprintf(w, "%-10.0e %14.3e %14.3e %14.5f %16.3e\n",
-			row.R, row.MispThreshold, row.EvictThreshold, row.EpochSuccess, row.EpochsFor50)
+		grid.Row(w, fmt.Sprintf("%.0e", row.R),
+			fmt.Sprintf("%14.3e", row.MispThreshold),
+			fmt.Sprintf("%14.3e", row.EvictThreshold),
+			fmt.Sprintf("%14.5f", row.EpochSuccess),
+			fmt.Sprintf("%16.3e", row.EpochsFor50))
 	}
 }

@@ -12,11 +12,11 @@ package experiments
 
 import (
 	"context"
-	"fmt"
 	"io"
 
 	"stbpu/internal/core"
 	"stbpu/internal/harness"
+	"stbpu/internal/results"
 	"stbpu/internal/sim"
 	"stbpu/internal/stats"
 )
@@ -123,31 +123,17 @@ func RunITTAGECtx(ctx context.Context, p harness.Params, pool *harness.Pool) (IT
 	return res, nil
 }
 
-// Render writes the comparison as a text table.
+// Render writes the comparison as a text table (shared renderer:
+// results.Grid).
 func (r ITTAGEResult) Render(w io.Writer) {
 	names := ITTAGEVariants()
-	fmt.Fprintf(w, "%-22s", "workload (target rate)")
-	for _, n := range names {
-		fmt.Fprintf(w, " %14s", n)
-	}
-	fmt.Fprintln(w)
+	g := results.Grid{LabelWidth: 22}
+	g.Row(w, "workload (target rate)", results.Cells("%14s", names[:]...)...)
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%-22s", row.Workload)
-		for v := range names {
-			fmt.Fprintf(w, " %14.4f", row.TargetRate[v])
-		}
-		fmt.Fprintln(w)
+		g.Row(w, row.Workload, results.Cells("%14.4f", row.TargetRate[:]...)...)
 	}
-	fmt.Fprintf(w, "%-22s", "AVG target rate")
-	for v := range names {
-		fmt.Fprintf(w, " %14.4f", r.AvgTargetRate[v])
-	}
-	fmt.Fprintln(w)
-	fmt.Fprintf(w, "%-22s", "AVG OAE")
-	for v := range names {
-		fmt.Fprintf(w, " %14.4f", r.AvgOAE[v])
-	}
-	fmt.Fprintln(w)
+	g.Row(w, "AVG target rate", results.Cells("%14.4f", r.AvgTargetRate[:]...)...)
+	g.Row(w, "AVG OAE", results.Cells("%14.4f", r.AvgOAE[:]...)...)
 }
 
 // ITTAGEHelps reports claim (1): ITTAGE raises the average target rate.

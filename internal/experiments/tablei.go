@@ -7,6 +7,7 @@ import (
 
 	"stbpu/internal/attacks"
 	"stbpu/internal/harness"
+	"stbpu/internal/results"
 )
 
 // TableIRow is one attack-surface cell: the same driver run against the
@@ -106,12 +107,13 @@ func RunTableICtx(ctx context.Context, p harness.Params, pool *harness.Pool) (Ta
 	return res, nil
 }
 
-// Render writes the table.
+// Render writes the table (shared renderer: results.Grid).
 func (r TableIResult) Render(w io.Writer) {
-	fmt.Fprintf(w, "%-36s %-6s %-18s %-18s\n", "attack", "cell", "baseline", "STBPU")
+	g := results.Grid{LabelWidth: 36}
+	g.Row(w, "attack", append(results.Cells("%-6s", "cell"), results.Cells("%-18s", "baseline", "STBPU")...)...)
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%-36s %-6s %-18s %-18s\n", row.Attack, row.Cell,
-			verdict(row.Baseline), verdict(row.STBPU))
+		g.Row(w, row.Attack, fmt.Sprintf("%-6s", row.Cell),
+			fmt.Sprintf("%-18s", verdict(row.Baseline)), fmt.Sprintf("%-18s", verdict(row.STBPU)))
 	}
 }
 

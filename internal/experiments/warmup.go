@@ -15,6 +15,7 @@ import (
 	"io"
 
 	"stbpu/internal/harness"
+	"stbpu/internal/results"
 	"stbpu/internal/sim"
 )
 
@@ -97,20 +98,13 @@ func RunWarmupCtx(ctx context.Context, p harness.Params, pool *harness.Pool) (Wa
 	return res, nil
 }
 
-// Render writes the curve as a text table.
+// Render writes the curve as a text table (shared renderer: results.Grid).
 func (r WarmupResult) Render(w io.Writer) {
 	fmt.Fprintf(w, "warm-state curve on %s (normalized OAE)\n", r.Workload)
-	fmt.Fprintf(w, "%-10s", "records")
-	for _, k := range sim.Fig3Kinds() {
-		fmt.Fprintf(w, " %18s", k)
-	}
-	fmt.Fprintln(w)
+	g := results.Grid{LabelWidth: 10}
+	g.Row(w, "records", results.Cells("%18s", sim.Fig3Kinds()...)...)
 	for _, p := range r.Points {
-		fmt.Fprintf(w, "%-10d", p.Records)
-		for _, v := range p.NormOAE {
-			fmt.Fprintf(w, " %18.4f", v)
-		}
-		fmt.Fprintln(w)
+		g.Row(w, results.Itoa(p.Records), results.Cells("%18.4f", p.NormOAE[:]...)...)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -165,13 +166,18 @@ type StatsReporter interface {
 	BackendStats() []BackendStats
 }
 
+// cellNotify is the pool-side completion callback: the observer-facing
+// Cell plus the spec and result that feed the pool's Sink (run
+// journal). Pool.complete implements it.
+type cellNotify func(c Cell, spec CellSpec, res CellResult)
+
 // cellSink is implemented by backends that can stream completed cells to
-// the pool's observer; Pool.SetBackend wires it. A backend must not
-// report cells from a batch whose Run returns an error — a router will
-// requeue that batch elsewhere, and early reports would double-count the
-// cells in Pool.Cells().
+// the pool's observer and sink; Pool.SetBackend wires it. A backend must
+// not report cells from a batch whose Run returns an error — a router
+// will requeue that batch elsewhere, and early reports would
+// double-count the cells in Pool.Cells().
 type cellSink interface {
-	setSink(func(Cell))
+	setSink(cellNotify)
 }
 
 // LocalBackend is the in-process goroutine pool — the execution engine
@@ -179,7 +185,7 @@ type cellSink interface {
 // It requires in-process specs (fn set); it never looks at the registry.
 type LocalBackend struct {
 	workers int
-	sink    atomic.Pointer[func(Cell)]
+	sink    atomic.Pointer[cellNotify]
 	cells   atomic.Uint64
 	wallNS  atomic.Int64
 }
@@ -199,11 +205,11 @@ func (b *LocalBackend) Name() string { return "local" }
 // Close implements Backend; a LocalBackend holds no resources.
 func (b *LocalBackend) Close() error { return nil }
 
-func (b *LocalBackend) setSink(fn func(Cell)) { b.sink.Store(&fn) }
+func (b *LocalBackend) setSink(fn cellNotify) { b.sink.Store(&fn) }
 
-func (b *LocalBackend) notify(c Cell) {
+func (b *LocalBackend) notify(c Cell, spec CellSpec, res CellResult) {
 	if fn := b.sink.Load(); fn != nil && *fn != nil {
-		(*fn)(c)
+		(*fn)(c, spec, res)
 	}
 }
 
@@ -245,7 +251,7 @@ func (b *LocalBackend) Run(ctx context.Context, specs []CellSpec) ([]CellResult,
 		}
 		attempted[i] = true
 		b.cells.Add(1)
-		b.notify(Cell{Backend: b.Name(), Scope: s.Scope, Shard: s.Shard, Seed: s.Seed, Elapsed: elapsed, Err: err})
+		b.notify(Cell{Backend: b.Name(), Scope: s.Scope, Shard: s.Shard, Seed: s.Seed, Elapsed: elapsed, Err: err}, s, results[i])
 		return err
 	}
 
@@ -363,7 +369,7 @@ func (m *MultiBackend) Close() error {
 }
 
 // setSink forwards the pool's observer sink to every child that streams.
-func (m *MultiBackend) setSink(fn func(Cell)) {
+func (m *MultiBackend) setSink(fn cellNotify) {
 	for _, e := range m.entries {
 		if s, ok := e.Backend.(cellSink); ok {
 			s.setSink(fn)
@@ -471,12 +477,10 @@ func (m *MultiBackend) Run(ctx context.Context, specs []CellSpec) ([]CellResult,
 	return merged, nil
 }
 
-// sortResultsByShard orders results canonically (insertion sort is fine:
-// chunks arrive nearly sorted).
+// sortResultsByShard orders results canonically. The input is whole
+// chunks concatenated in completion order — sorted within a chunk but
+// arbitrarily interleaved across chunks — so this must not assume
+// nearly-sorted data.
 func sortResultsByShard(rs []CellResult) {
-	for i := 1; i < len(rs); i++ {
-		for j := i; j > 0 && rs[j-1].Shard > rs[j].Shard; j-- {
-			rs[j-1], rs[j] = rs[j], rs[j-1]
-		}
-	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Shard < rs[j].Shard })
 }

@@ -32,4 +32,14 @@
 // shard, rootSeed), so a worker holding the same binary re-derives any
 // cell bit-identically; see docs/ARCHITECTURE.md "How a cell flows
 // through a backend".
+//
+// # Run journal
+//
+// The same cell address keys the run journal (journal.go): a Sink
+// installed with Pool.SetSink receives every completed cell with its
+// wire-encoded result, and a Journal sink streams them to a JSONL file
+// (schema: docs/SUITE_JSON.md). Resuming from a journal makes Map skip
+// already-completed cells and splice their stored values into its
+// output — a crashed run restarted with `stbpu-suite -resume` produces
+// a byte-identical final document without redoing finished work.
 package harness

@@ -119,7 +119,7 @@ type ExecBackend struct {
 	procs  []*execWorker
 	closed bool
 
-	sink   atomic.Pointer[func(Cell)]
+	sink   atomic.Pointer[cellNotify]
 	cells  atomic.Uint64
 	wallNS atomic.Int64
 }
@@ -127,11 +127,11 @@ type ExecBackend struct {
 // Name implements Backend.
 func (b *ExecBackend) Name() string { return "exec" }
 
-func (b *ExecBackend) setSink(fn func(Cell)) { b.sink.Store(&fn) }
+func (b *ExecBackend) setSink(fn cellNotify) { b.sink.Store(&fn) }
 
-func (b *ExecBackend) notify(c Cell) {
+func (b *ExecBackend) notify(c Cell, spec CellSpec, res CellResult) {
 	if fn := b.sink.Load(); fn != nil && *fn != nil {
-		(*fn)(c)
+		(*fn)(c, spec, res)
 	}
 }
 
@@ -267,7 +267,7 @@ func (b *ExecBackend) Run(ctx context.Context, specs []CellSpec) ([]CellResult, 
 		b.notify(Cell{
 			Backend: b.Name(), Scope: s.Scope, Shard: r.Shard, Seed: s.Seed,
 			Elapsed: time.Duration(r.ElapsedUS) * time.Microsecond, Err: r.CellErr(),
-		})
+		}, s, *r)
 	}
 	return merged, nil
 }
@@ -507,11 +507,11 @@ func ExecuteCells(ctx context.Context, specs []CellSpec, workers int, store *tra
 		root                    uint64
 	}
 	keyOf := func(s CellSpec) (groupKey, error) {
-		pj, err := json.Marshal(s.Params)
+		pj, err := CanonicalParams(s.Params)
 		if err != nil {
 			return groupKey{}, err
 		}
-		return groupKey{scenario: s.Scenario, scope: s.Scope, params: string(pj), root: s.RootSeed}, nil
+		return groupKey{scenario: s.Scenario, scope: s.Scope, params: pj, root: s.RootSeed}, nil
 	}
 	groups := map[groupKey][]CellSpec{}
 	var order []groupKey

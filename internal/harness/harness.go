@@ -126,6 +126,7 @@ type Pool struct {
 
 	mu       sync.Mutex
 	observer func(Cell)
+	sink     Sink
 	traces   *tracestore.Store
 	backend  Backend
 	// scenario/params are the scenario context RunAll (or a worker's
@@ -226,11 +227,24 @@ func (p *Pool) scenarioContext() (string, Params) {
 	return p.scenario, p.scenarioParams
 }
 
-// complete is the sink backends report finished cells to: it maintains
-// the pool's cell counter and feeds the observer.
-func (p *Pool) complete(c Cell) {
+// complete is where backends report finished cells: it maintains the
+// pool's cell counter and feeds the sink (wire-encoded) and observer.
+// The sink call — wire encoding plus, for a Journal, a disk append —
+// runs outside the pool lock so concurrent workers don't serialize
+// behind each other's I/O; sinks synchronize internally. Observer
+// calls stay serialized under the pool lock as SetObserver documents.
+func (p *Pool) complete(c Cell, spec CellSpec, res CellResult) {
 	p.cells.Add(1)
-	p.observe(c)
+	if sink := p.currentSink(); sink != nil {
+		wire := res
+		wire.encodeWire() // the copy leaves the backend's live value intact
+		sink.CellDone(c, spec, wire)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.observer != nil {
+		p.observer(c)
+	}
 }
 
 // Default returns a GOMAXPROCS-wide pool with DefaultRootSeed.
@@ -253,15 +267,21 @@ func (p *Pool) SetObserver(fn func(Cell)) {
 	p.mu.Unlock()
 }
 
-func (p *Pool) observe(c Cell) {
-	// The observer is invoked under the lock so calls are serialized as
-	// SetObserver documents — observers may append to plain slices or
-	// write to shared sinks without their own locking.
+// SetSink installs s to receive every completed cell with its spec and
+// wire-encoded result (nil removes it). Calls are serialized like the
+// observer's. A sink that also implements CellLookup (a resumed
+// Journal) additionally short-circuits Map: cells it already holds are
+// not re-executed.
+func (p *Pool) SetSink(s Sink) {
+	p.mu.Lock()
+	p.sink = s
+	p.mu.Unlock()
+}
+
+func (p *Pool) currentSink() Sink {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.observer != nil {
-		p.observer(c)
-	}
+	return p.sink
 }
 
 // Map runs fn over the n-cell space named scope through the pool's
@@ -276,6 +296,13 @@ func (p *Pool) observe(c Cell) {
 // shipped by (scenario, params, scope, shard, root seed) and executed
 // remotely; Map merges whatever comes back into shard order, so results
 // are bit-identical regardless of which backend ran which cell.
+//
+// When the pool's sink implements CellLookup (a resumed Journal), cells
+// the lookup already holds are not re-executed: their stored values are
+// decoded into the output, and their completion is replayed to the
+// observer and sink (Backend "journal") so Report.Cells matches an
+// uninterrupted run. Because cells are pure functions of their address,
+// the spliced values are bit-identical to re-executing.
 func Map[T any](ctx context.Context, p *Pool, scope string, n int, fn func(ctx context.Context, shard int, seed uint64) (T, error)) ([]T, error) {
 	if p == nil {
 		p = Default()
@@ -305,18 +332,42 @@ func Map[T any](ctx context.Context, p *Pool, scope string, n int, fn func(ctx c
 		}
 	}
 
-	b := p.Backend()
-	results, runErr := b.Run(ctx, specs)
-	if runErr != nil {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		return nil, fmt.Errorf("%s: %s backend: %w", scope, b.Name(), runErr)
-	}
-
 	got := make([]bool, n)
 	errs := make([]error, n)
 	anyErr := false
+
+	b := p.Backend()
+	pending := specs
+	if lookup, ok := p.currentSink().(CellLookup); ok && scenario != "" {
+		pending = make([]CellSpec, 0, n)
+		for _, s := range specs {
+			r, done := lookup.LookupCell(s)
+			if !done {
+				pending = append(pending, s)
+				continue
+			}
+			if err := decodeInto(&r, &out[s.Shard]); err != nil {
+				return nil, fmt.Errorf("%s shard %d: journaled cell: %w", scope, s.Shard, err)
+			}
+			got[s.Shard] = true
+			p.complete(Cell{
+				Backend: "journal", Scope: s.Scope, Shard: s.Shard, Seed: s.Seed,
+				Elapsed: journalElapsed(r.ElapsedUS),
+			}, s, r)
+		}
+	}
+
+	var results []CellResult
+	if len(pending) > 0 {
+		var runErr error
+		results, runErr = b.Run(ctx, pending)
+		if runErr != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("%s: %s backend: %w", scope, b.Name(), runErr)
+		}
+	}
 	for idx := range results {
 		r := &results[idx]
 		if r.Shard < 0 || r.Shard >= n {

@@ -42,6 +42,52 @@ func TestParamsMerged(t *testing.T) {
 	}
 }
 
+// TestParamsMergedZeroValueEdgeCases pins the zero-means-default
+// contract field by field: the knobs whose zero value is a *meaningful*
+// setting (R=0, an empty Sweep) cannot be distinguished from "unset",
+// so Merged always treats them as unset — scenarios that need a literal
+// zero must encode it differently.
+func TestParamsMergedZeroValueEdgeCases(t *testing.T) {
+	def := Params{R: 0.05, Sweep: []float64{1, 2}, Bits: 512, Budget: 64}
+
+	// R=0 reads as unset and takes the default — there is no way to ask
+	// for a literal r of zero through Params.
+	if got := (Params{}).Merged(def); got.R != 0.05 {
+		t.Errorf("R=0 did not take the default: %+v", got)
+	}
+	// A non-nil but empty Sweep also reads as unset (len, not nil, is
+	// the test), matching how flag parsing produces empty slices.
+	if got := (Params{Sweep: []float64{}}).Merged(def); !reflect.DeepEqual(got.Sweep, []float64{1, 2}) {
+		t.Errorf("empty Sweep did not take the default: %+v", got.Sweep)
+	}
+	// A one-element override replaces the default wholesale — sweeps
+	// never merge element-wise.
+	if got := (Params{Sweep: []float64{9}}).Merged(def); !reflect.DeepEqual(got.Sweep, []float64{9}) {
+		t.Errorf("set Sweep was not kept verbatim: %+v", got.Sweep)
+	}
+	// Negative and tiny values are "set": they survive the merge even
+	// when a default exists.
+	if got := (Params{R: 1e-9, Budget: -1}).Merged(def); got.R != 1e-9 || got.Budget != -1 {
+		t.Errorf("non-zero overrides lost: %+v", got)
+	}
+
+	// Merging zero into zero stays zero, and merging a full set into an
+	// empty default is the identity.
+	if got := (Params{}).Merged(Params{}); !reflect.DeepEqual(got, Params{}) {
+		t.Errorf("zero-zero merge invented values: %+v", got)
+	}
+	full := Params{Records: 1, MaxWorkloads: 2, MaxPairs: 3, Trials: 4, Budget: 5, Bits: 6, R: 7, Sweep: []float64{8}, Workload: "nine"}
+	if got := full.Merged(Params{}); !reflect.DeepEqual(got, full) {
+		t.Errorf("identity merge mutated params: %+v", got)
+	}
+	// Merged is layerable: CLI → quick-scale → scenario defaults, as
+	// stbpu-suite chains it. The first set value along the chain wins.
+	layered := (Params{Records: 1}).Merged(Params{Records: 2, Trials: 3}).Merged(Params{Records: 4, Trials: 5, Bits: 6})
+	if want := (Params{Records: 1, Trials: 3, Bits: 6}); !reflect.DeepEqual(layered, want) {
+		t.Errorf("layered merge = %+v, want %+v", layered, want)
+	}
+}
+
 func TestMapOrderIndependentOfWorkers(t *testing.T) {
 	const n = 100
 	run := func(workers int) []uint64 {

@@ -1,0 +1,70 @@
+package results
+
+import (
+	"sort"
+
+	"stbpu/internal/stats"
+)
+
+// Merge unions tables into one, collapsing rows that share a key (the
+// same metric observed by several runs) into aggregate columns computed
+// by internal/stats: the key's row carries the mean, and when a key has
+// more than one sample, companion "<metric>/stddev", "<metric>/min",
+// and "<metric>/max" rows describe the spread. Singleton keys pass
+// through unchanged, so merging one table is the identity (modulo
+// canonical ordering).
+func Merge(tables ...Table) Table {
+	samples := map[string][]float64{}
+	proto := map[string]Row{}
+	var order []string
+	for _, t := range tables {
+		for _, r := range t.Rows {
+			k := r.Key()
+			if _, seen := proto[k]; !seen {
+				proto[k] = r
+				order = append(order, k)
+			}
+			samples[k] = append(samples[k], r.Value)
+		}
+	}
+	var out Table
+	for _, k := range order {
+		r := proto[k]
+		xs := samples[k]
+		r.Value = stats.Mean(xs)
+		out.Rows = append(out.Rows, r)
+		if len(xs) < 2 {
+			continue
+		}
+		s := stats.Summarize(xs)
+		for _, agg := range []struct {
+			suffix string
+			value  float64
+		}{
+			{"stddev", s.StdDev},
+			{"min", s.Min},
+			{"max", s.Max},
+		} {
+			c := r
+			c.Metric = r.Metric + "/" + agg.suffix
+			c.Value = agg.value
+			out.Rows = append(out.Rows, c)
+		}
+	}
+	out.Sort()
+	return out
+}
+
+// Scenarios lists the distinct scenario names in the table, sorted.
+func (t Table) Scenarios() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range t.Rows {
+		if !seen[r.Scenario] {
+			seen[r.Scenario] = true
+			out = append(out, r.Scenario)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,58 @@
+package results
+
+import (
+	"fmt"
+	"io"
+)
+
+// Grid is the shared fixed-layout text renderer behind every scenario's
+// Render method: a left-aligned label column padded to LabelWidth,
+// followed by pre-formatted cells, each preceded by Sep. The cells keep
+// their figure-specific numeric formats at the call site; the padding,
+// separator, and row loops — the part that used to be duplicated across
+// twelve Render methods — live here.
+type Grid struct {
+	// LabelWidth is the first column's minimum width (left-aligned).
+	LabelWidth int
+	// Sep is written before every cell (" " for plain tables, " | " for
+	// grouped columns). Empty means a single space.
+	Sep string
+}
+
+// Row writes one table row: the padded label, then each cell behind the
+// separator, then a newline.
+func (g Grid) Row(w io.Writer, label string, cells ...string) {
+	sep := g.Sep
+	if sep == "" {
+		sep = " "
+	}
+	fmt.Fprintf(w, "%-*s", g.LabelWidth, label)
+	for _, c := range cells {
+		io.WriteString(w, sep)
+		io.WriteString(w, c)
+	}
+	fmt.Fprintln(w)
+}
+
+// Write renders a whole table: each row's first element is the label,
+// the rest are cells.
+func (g Grid) Write(w io.Writer, rows [][]string) {
+	for _, r := range rows {
+		if len(r) == 0 {
+			fmt.Fprintln(w)
+			continue
+		}
+		g.Row(w, r[0], r[1:]...)
+	}
+}
+
+// Cells formats one value per element with the same verb — the common
+// "every column renders alike" case (e.g. a header of %18s names or a
+// footer of %12.3f averages).
+func Cells[T any](format string, vs ...T) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = fmt.Sprintf(format, v)
+	}
+	return out
+}
