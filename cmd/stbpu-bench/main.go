@@ -47,6 +47,7 @@ func main() {
 		seed       = flag.Uint64("seed", harness.DefaultRootSeed, "root seed for all scenario cells")
 		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		cacheB     = flag.Int64("cache-bytes", tracestore.DefaultMaxBytes, "byte budget for the shared cross-run trace store (<=0 = default budget)")
+		traceDir   = flag.String("trace-dir", "", "persistent trace tier: spill generated traces as STBT files here and decode them on later runs")
 	)
 	flag.Parse()
 
@@ -75,6 +76,12 @@ func main() {
 
 	pool := harness.NewPool(*workers, *seed)
 	store := tracestore.New(*cacheB, nil)
+	if *traceDir != "" {
+		if err := store.SetDir(*traceDir); err != nil {
+			fmt.Fprintf(os.Stderr, "stbpu-bench: trace dir %s: %v\n", *traceDir, err)
+			os.Exit(1)
+		}
+	}
 	pool.SetTraceStore(store)
 	params := harness.Params{Records: *records, MaxWorkloads: *workloads, MaxPairs: *pairs}
 
@@ -104,4 +111,8 @@ func main() {
 	st := store.Stats()
 	fmt.Printf("trace store: %d hits, %d misses, %d generations, %d evictions, %d/%d bytes\n",
 		st.Hits, st.Misses, st.Generations, st.Evictions, st.Bytes, st.MaxBytes)
+	if *traceDir != "" {
+		fmt.Printf("trace dir %s: %d disk hits, %d disk misses, %d spills, %d errors\n",
+			*traceDir, st.DiskHits, st.DiskMisses, st.DiskWrites, st.DiskErrors)
+	}
 }

@@ -9,6 +9,7 @@
 //	stbpu-report -threshold 0.05 old new        # fail on >5% relative change
 //	stbpu-report -json old new                  # machine-readable diff
 //	stbpu-report run-a.jsonl run-b.jsonl        # raw run journals work too
+//	stbpu-report -timing run.jsonl              # per-scope wall-time summary
 //
 // Each input is either a stbpu-suite JSON document (the -o output) or a
 // run journal (the -journal JSONL file; schema in docs/SUITE_JSON.md).
@@ -16,6 +17,12 @@
 // (internal/experiments' Tabler implementations); unknown scenarios and
 // journal cell values flatten generically, numeric leaf by numeric
 // leaf, so the tool keeps working on documents newer than itself.
+//
+// With -timing the single input must be a run journal: instead of
+// diffing, the tool aggregates each cell's recorded elapsed_us into
+// per-(scenario, scope) wall-time summaries — the scheduling
+// diagnostic for spotting which scopes dominate a sweep and how skewed
+// their cells are.
 //
 // Exit status: 0 when every metric matches within the threshold (a run
 // diffed against itself always exits 0 with zero deltas), 1 when a
@@ -106,23 +113,16 @@ func tableFromJournal(entries []harness.JournalEntry) results.Table {
 	// One journal usually holds one configuration; only ambiguous label
 	// components are included, so the common case stays readable and two
 	// same-config journals key identically.
-	paramsOf := func(e harness.JournalEntry) string {
-		pj, err := harness.CanonicalParams(e.Params)
-		if err != nil {
-			return "?"
-		}
-		return pj
-	}
 	multiParams, multiSeeds := map[string]bool{}, map[uint64]bool{}
 	for _, e := range entries {
-		multiParams[paramsOf(e)] = true
+		multiParams[journalParams(e)] = true
 		multiSeeds[e.RootSeed] = true
 	}
 	var out results.Table
 	seen := map[string]bool{}
 	for _, e := range entries {
-		params := paramsOf(e)
-		addr := fmt.Sprintf("%s\x00%s\x00%d\x00%d\x00%s", e.Scenario, e.Scope, e.Shard, e.RootSeed, params)
+		params := journalParams(e)
+		addr := journalAddr(e)
 		if seen[addr] {
 			continue
 		}
@@ -151,6 +151,24 @@ func tableFromJournal(entries []harness.JournalEntry) results.Table {
 	}
 	out.Sort()
 	return out
+}
+
+// journalParams collapses an entry's params to the canonical string
+// ("?" when unmarshalable state somehow round-tripped).
+func journalParams(e harness.JournalEntry) string {
+	pj, err := harness.CanonicalParams(e.Params)
+	if err != nil {
+		return "?"
+	}
+	return pj
+}
+
+// journalAddr is an entry's full cell address in comparable form — the
+// single dedup key every journal consumer in this binary shares, so
+// the diff and -timing paths can never disagree on which duplicate of
+// a resumed journal's cell wins.
+func journalAddr(e harness.JournalEntry) string {
+	return fmt.Sprintf("%s\x00%s\x00%d\x00%d\x00%s", e.Scenario, e.Scope, e.Shard, e.RootSeed, journalParams(e))
 }
 
 // flattenJSON walks an arbitrary decoded JSON value and emits one row
@@ -184,6 +202,74 @@ func flattenJSON(t *results.Table, path string, v any) {
 	}
 	// Strings and nulls are labels, not metrics: identity already lives
 	// in the path.
+}
+
+// timingReport aggregates journal elapsed_us per (scenario, scope) and
+// renders the summary sorted by total wall time (ties alphabetical), so
+// the scope dominating the run reads first. Duplicate cell addresses (a
+// resumed journal appended over its own prefix) keep the first
+// occurrence, matching harness.ResumeJournal and tableFromJournal.
+func timingReport(w io.Writer, path string, entries []harness.JournalEntry) {
+	type agg struct {
+		label string
+		cells int
+		total int64
+		min   int64
+		max   int64
+	}
+	byScope := map[string]*agg{}
+	seen := map[string]bool{}
+	kept := 0
+	for _, e := range entries {
+		addr := journalAddr(e)
+		if seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		kept++
+		label := e.Scenario + "/" + e.Scope
+		a := byScope[label]
+		if a == nil {
+			a = &agg{label: label, min: math.MaxInt64}
+			byScope[label] = a
+		}
+		a.cells++
+		a.total += e.ElapsedUS
+		if e.ElapsedUS < a.min {
+			a.min = e.ElapsedUS
+		}
+		if e.ElapsedUS > a.max {
+			a.max = e.ElapsedUS
+		}
+	}
+	scopes := make([]*agg, 0, len(byScope))
+	var grand int64
+	for _, a := range byScope {
+		scopes = append(scopes, a)
+		grand += a.total
+	}
+	sort.Slice(scopes, func(i, j int) bool {
+		if scopes[i].total != scopes[j].total {
+			return scopes[i].total > scopes[j].total
+		}
+		return scopes[i].label < scopes[j].label
+	})
+
+	ms := func(us int64) string { return fmt.Sprintf("%12.1f", float64(us)/1e3) }
+	fmt.Fprintf(w, "stbpu-report: timing of %s (%d cells, %d scopes, %.1f ms total cell time)\n",
+		path, kept, len(scopes), float64(grand)/1e3)
+	if len(scopes) == 0 {
+		return
+	}
+	fmt.Fprintln(w)
+	g := results.Grid{LabelWidth: 32}
+	g.Row(w, "scope", fmt.Sprintf("%8s", "cells"),
+		fmt.Sprintf("%12s", "total ms"), fmt.Sprintf("%12s", "mean ms"),
+		fmt.Sprintf("%12s", "min ms"), fmt.Sprintf("%12s", "max ms"))
+	for _, a := range scopes {
+		g.Row(w, a.label, fmt.Sprintf("%8d", a.cells),
+			ms(a.total), ms(a.total/int64(a.cells)), ms(a.min), ms(a.max))
+	}
 }
 
 // report renders the diff and returns the number of threshold
@@ -278,13 +364,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	missing := fs.String("missing", "fail", "metrics present in only one input: fail (exit 1) or allow")
 	asJSON := fs.Bool("json", false, "emit the diff as JSON")
 	maxRows := fs.Int("max-rows", 100, "cap the changed-metric rows printed (text mode)")
+	timing := fs.Bool("timing", false, "summarize per-scope wall time from one run journal instead of diffing")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: stbpu-report [flags] <old> <new>")
+		fmt.Fprintln(stderr, "       stbpu-report -timing <run.jsonl>")
 		fmt.Fprintln(stderr, "inputs: stbpu-suite JSON documents (-o) or run journals (-journal)")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *timing {
+		if fs.NArg() != 1 {
+			fs.Usage()
+			return 2
+		}
+		entries, err := harness.ReadJournal(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, "stbpu-report:", err)
+			return 2
+		}
+		timingReport(stdout, fs.Arg(0), entries)
+		return 0
 	}
 	if fs.NArg() != 2 {
 		fs.Usage()

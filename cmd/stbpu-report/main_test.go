@@ -241,3 +241,64 @@ func TestUnknownScenarioFallsBackToGenericFlatten(t *testing.T) {
 		t.Errorf("generic path metric missing:\n%s", out.String())
 	}
 }
+
+// TestTimingSummary pins the -timing mode on a crafted journal: scopes
+// aggregate cells/total/mean/min/max from elapsed_us, order is by
+// total wall time descending, and duplicate cell addresses (resumed
+// journal shape) are counted once.
+func TestTimingSummary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := harness.CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := func(scenario, scope string, shard int, elapsedUS int64) {
+		j.CellDone(harness.Cell{Backend: "local"},
+			harness.CellSpec{Scenario: scenario, Scope: scope, Shard: shard, RootSeed: 1},
+			harness.CellResult{Shard: shard, Value: json.RawMessage("1"), ElapsedUS: elapsedUS})
+	}
+	add("fig3", "fig3", 0, 2_000) // 2 ms
+	add("fig3", "fig3", 1, 4_000) // 4 ms
+	add("covert", "covert", 0, 10_000)
+	add("covert", "covert", 0, 99_000) // duplicate address: dropped
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-timing", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d\n%s%s", code, out.String(), errb.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "3 cells, 2 scopes, 16.0 ms total cell time") {
+		t.Errorf("header wrong:\n%s", text)
+	}
+	covert := strings.Index(text, "covert/covert")
+	fig3 := strings.Index(text, "fig3/fig3")
+	if covert == -1 || fig3 == -1 || covert > fig3 {
+		t.Errorf("scopes missing or not sorted by total time:\n%s", text)
+	}
+	fig3Line := text[fig3:]
+	fig3Line = fig3Line[:strings.Index(fig3Line, "\n")]
+	for _, want := range []string{"2", "6.0", "3.0", "2.0", "4.0"} {
+		if !strings.Contains(fig3Line, want) {
+			t.Errorf("fig3 row lacks %q: %q", want, fig3Line)
+		}
+	}
+}
+
+// TestTimingUsage: -timing takes exactly one journal and rejects
+// non-journal inputs.
+func TestTimingUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-timing", "a.jsonl", "b.jsonl"}, &out, &errb); code != 2 {
+		t.Errorf("two inputs with -timing: exit %d, want 2", code)
+	}
+	doc := filepath.Join(t.TempDir(), "doc.json")
+	writeTestDoc(t, doc, map[string]any{"thresholds": experiments.RunThresholds(2)})
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-timing", doc}, &out, &errb); code != 2 {
+		t.Errorf("suite document with -timing: exit %d, want 2", code)
+	}
+}

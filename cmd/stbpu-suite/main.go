@@ -17,6 +17,7 @@
 //	stbpu-suite -worker                     # subprocess worker mode
 //	stbpu-suite -journal run.jsonl          # stream completed cells to a journal
 //	stbpu-suite -journal run.jsonl -resume  # skip cells the journal already holds
+//	stbpu-suite -trace-dir ~/.cache/stbpu   # persist generated traces across runs
 //
 // With -backend exec the suite spawns `stbpu-suite -worker` subprocesses
 // that execute cell batches received as length-prefixed JSON frames on
@@ -67,10 +68,14 @@ type suiteDoc struct {
 // config carries the parsed CLI knobs; factored out so tests drive the
 // exact code path main uses.
 type config struct {
-	filters     []string
-	seed        uint64
-	workers     int
-	cacheBytes  int64
+	filters    []string
+	seed       uint64
+	workers    int
+	cacheBytes int64
+	// traceDir enables the persistent trace tier: generated traces spill
+	// as STBT files and later runs (and exec workers) decode instead of
+	// regenerating.
+	traceDir    string
 	backend     string // "local" (default), "exec", or "mixed"
 	execWorkers int
 	// journal streams completed cells to this JSONL file; with resume
@@ -102,10 +107,14 @@ func buildBackend(cfg config) (harness.Backend, error) {
 				return nil, fmt.Errorf("resolve worker executable: %w", err)
 			}
 			// Forward the resource knobs so workers honor the same bounds
-			// as the coordinator (each worker applies them per process).
+			// as the coordinator (each worker applies them per process) and
+			// share the persistent trace tier when one is configured.
 			cmd = []string{exe, "-worker",
 				fmt.Sprintf("-workers=%d", cfg.workers),
 				fmt.Sprintf("-cache-bytes=%d", cfg.cacheBytes)}
+			if cfg.traceDir != "" {
+				cmd = append(cmd, fmt.Sprintf("-trace-dir=%s", cfg.traceDir))
+			}
 		}
 		return &harness.ExecBackend{Command: cmd, Env: cfg.workerEnv, Workers: execWorkers}, nil
 	}
@@ -134,6 +143,11 @@ func buildBackend(cfg config) (harness.Backend, error) {
 func runSuite(ctx context.Context, cfg config) (suiteDoc, error) {
 	pool := harness.NewPool(cfg.workers, cfg.seed)
 	store := tracestore.New(cfg.cacheBytes, nil)
+	if cfg.traceDir != "" {
+		if err := store.SetDir(cfg.traceDir); err != nil {
+			return suiteDoc{}, fmt.Errorf("trace dir %s: %w", cfg.traceDir, err)
+		}
+	}
 	pool.SetTraceStore(store)
 	backend, err := buildBackend(cfg)
 	if err != nil {
@@ -258,6 +272,7 @@ func run() error {
 		rF        = flag.Float64("r", 0, "attack-difficulty factor (0 = scenario default)")
 		quick     = flag.Bool("quick", false, "use the QuickScale test/benchmark sizing")
 		cacheB    = flag.Int64("cache-bytes", tracestore.DefaultMaxBytes, "byte budget for the shared cross-run trace store (<=0 = default budget)")
+		traceDir  = flag.String("trace-dir", "", "persistent trace tier: spill generated traces as STBT files here and decode them on later runs (shared with exec workers)")
 		backend   = flag.String("backend", "local", "cell execution backend: local, exec (subprocess workers), or mixed")
 		execW     = flag.Int("exec-workers", 2, "subprocess worker count for -backend exec/mixed")
 		worker    = flag.Bool("worker", false, "run as a subprocess worker: execute length-prefixed JSON cell batches from stdin")
@@ -275,6 +290,7 @@ func run() error {
 		return harness.ServeWorker(ctx, os.Stdin, os.Stdout, harness.WorkerOptions{
 			Workers:    *workers,
 			CacheBytes: *cacheB,
+			TraceDir:   *traceDir,
 		})
 	}
 
@@ -292,6 +308,7 @@ func run() error {
 		seed:        *seed,
 		workers:     *workers,
 		cacheBytes:  *cacheB,
+		traceDir:    *traceDir,
 		backend:     *backend,
 		execWorkers: *execW,
 		journal:     *journalF,

@@ -409,3 +409,48 @@ func TestGoldenOutputWorkerInvariant(t *testing.T) {
 		t.Error("suite results depend on worker count")
 	}
 }
+
+// TestTraceDirSecondRunHitsDisk is the acceptance gate for the
+// persistent trace tier: a second run sharing -trace-dir must satisfy
+// every trace from disk (zero generations) and still produce a
+// document byte-identical to the first run and to the committed golden
+// (modulo placement stats).
+func TestTraceDirSecondRunHitsDisk(t *testing.T) {
+	dir := t.TempDir()
+	cfg := goldenConfig()
+	cfg.traceDir = dir
+
+	first, err := runSuite(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := first.TraceStore; st.DiskWrites == 0 || st.Generations == 0 {
+		t.Fatalf("first run spilled nothing: %+v", st)
+	}
+
+	second, err := runSuite(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := second.TraceStore; st.Generations != 0 || st.DiskHits == 0 {
+		t.Fatalf("second run did not serve from disk: %+v", st)
+	}
+
+	normalizePlacement(&first)
+	normalizePlacement(&second)
+	if !bytes.Equal(docBytes(t, first), docBytes(t, second)) {
+		t.Error("trace-dir-served run diverges from the generating run")
+	}
+
+	// Against a tier-less run too: the tier must be invisible in
+	// scenario results (and the tier-less run is itself pinned to the
+	// committed golden by TestGoldenSuiteOutput).
+	bare, err := runSuite(context.Background(), goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalizePlacement(&bare)
+	if !bytes.Equal(docBytes(t, bare), docBytes(t, second)) {
+		t.Error("trace-dir run diverges from the tier-less run")
+	}
+}

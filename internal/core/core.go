@@ -122,10 +122,6 @@ func (k *keyState) ITIndexTag(pc uint64, fold uint64, bank int, indexBits, tagBi
 // one entity; user processes key by PID, or by program when the OS opted
 // into selective token sharing (pre-forked servers, §IV-A).
 func EntityKey(rec trace.Record, sharedTokens bool) uint64 {
-	const (
-		kernelKey  = uint64(1) << 63
-		programKey = uint64(1) << 62
-	)
 	if rec.Kernel {
 		return kernelKey
 	}
@@ -134,6 +130,13 @@ func EntityKey(rec trace.Record, sharedTokens bool) uint64 {
 	}
 	return uint64(rec.PID)
 }
+
+// kernelKey and programKey are the EntityKey namespaces: the kernel is
+// one entity, and shared-token mode keys by program.
+const (
+	kernelKey  = uint64(1) << 63
+	programKey = uint64(1) << 62
+)
 
 // ModelConfig assembles an STBPU model.
 type ModelConfig struct {
@@ -349,6 +352,74 @@ func (m *Model) Step(rec trace.Record) (bpu.Prediction, bpu.Events) {
 func (m *Model) StepBatch(recs []trace.Record, acc *bpu.Counters) {
 	for i := range recs {
 		_, ev := m.Step(recs[i])
+		acc.Note(ev)
+	}
+}
+
+// StepColumns processes rows [lo,hi) of a columnar trace — the
+// struct-of-arrays twin of StepBatch, and the suite's hot replay loop.
+// It is Step's body with the record fields loaded from the packed
+// arrays: the entity key comes straight from the flag/PID/program
+// columns (branchless flag extraction, no 32-byte struct assembly, no
+// unused Prediction return), and only the fields Update reads are
+// materialized. Every row goes through exactly the Step sequence —
+// token switch, predict, update, threshold monitoring — so columnar
+// and batched replay are bit-identical (pinned by the sim package's
+// columnar-vs-batched test).
+func (m *Model) StepColumns(cols *trace.Columns, lo, hi int, acc *bpu.Counters) {
+	pcs, targets, flags := cols.PCs, cols.Targets, cols.Flags
+	pids, progs := cols.PIDs, cols.Programs
+	for i := lo; i < hi; i++ {
+		f := flags[i]
+		var key uint64
+		switch {
+		case f&trace.FlagKernel != 0:
+			key = kernelKey
+		case m.sharedTokens:
+			key = programKey | uint64(progs[i])
+		default:
+			key = uint64(pids[i])
+		}
+		if !m.haveKey || key != m.curKey {
+			m.loadToken(key)
+		}
+
+		kind := trace.Kind(f & trace.FlagKindMask)
+		pred := m.unit.Predict(pcs[i], kind)
+		ev := m.unit.Update(trace.Record{
+			PC:     pcs[i],
+			Target: targets[i],
+			Kind:   kind,
+			Taken:  f&trace.FlagTaken != 0,
+		}, pred)
+
+		// Threshold monitoring, exactly as in Step.
+		if ev.Mispredict {
+			viaTage := false
+			if m.tagePred != nil && m.separateTage {
+				if tm := m.tagePred.TageMispredicts; tm != m.lastTageMisp {
+					m.lastTageMisp = tm
+					viaTage = true
+				}
+			}
+			var st token.ST
+			var rerand bool
+			if viaTage {
+				st, rerand = m.mgr.OnTageMisprediction(key)
+			} else {
+				st, rerand = m.mgr.OnMisprediction(key)
+			}
+			if rerand {
+				m.applyST(st)
+			}
+		} else if m.tagePred != nil {
+			m.lastTageMisp = m.tagePred.TageMispredicts
+		}
+		if ev.BTBEviction {
+			if st, rerand := m.mgr.OnEviction(key); rerand {
+				m.applyST(st)
+			}
+		}
 		acc.Note(ev)
 	}
 }

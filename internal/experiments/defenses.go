@@ -88,12 +88,12 @@ func RunDefenseAccuracyCtx(ctx context.Context, p harness.Params, pool *harness.
 	oaes, err := harness.Map(ctx, pool, "defense-accuracy", len(names)*k,
 		func(ctx context.Context, shard int, seed uint64) (float64, error) {
 			w, mi := shard/k, shard%k
-			tr, prof, err := cache.Get(names[w], s.Records)
+			cols, prof, err := cache.GetColumns(names[w], s.Records)
 			if err != nil {
 				return 0, err
 			}
 			m := newDefenseModel(mi, prof.SharedTokens, seed)
-			r, err := sim.RunCtx(ctx, m, tr)
+			r, err := sim.RunColumnsCtx(ctx, m, cols)
 			if err != nil {
 				return 0, err
 			}

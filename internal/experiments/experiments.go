@@ -60,7 +60,9 @@ func capList[T any](xs []T, n int) []T {
 // (workload, records) trace is generated once and shared read-only across
 // every cell of every scenario in the run, with deduplicated generation
 // and a byte-bounded LRU replacing the per-scenario caches each Run*Ctx
-// used to carry.
+// used to carry. Replay-only scenarios fetch the columnar view
+// (GetColumns + sim.RunColumnsCtx, the fast path); the cycle-accurate
+// CPU scenarios (fig4/fig5/fig6) fetch AoS records via Get.
 
 // ---------------------------------------------------------------------------
 // Fig. 3 — trace-driven OAE comparison of the five protection models.
@@ -96,12 +98,12 @@ func RunFig3Ctx(ctx context.Context, p harness.Params, pool *harness.Pool) (Fig3
 	oaes, err := harness.Map(ctx, pool, "fig3", len(names)*k,
 		func(ctx context.Context, shard int, seed uint64) (float64, error) {
 			w, ki := shard/k, shard%k
-			tr, prof, err := cache.Get(names[w], s.Records)
+			cols, prof, err := cache.GetColumns(names[w], s.Records)
 			if err != nil {
 				return 0, err
 			}
 			m := sim.New(kinds[ki], sim.Options{SharedTokens: prof.SharedTokens, Seed: seed})
-			res, err := sim.RunCtx(ctx, m, tr)
+			res, err := sim.RunColumnsCtx(ctx, m, cols)
 			if err != nil {
 				return 0, err
 			}

@@ -88,11 +88,11 @@ func RunITTAGECtx(ctx context.Context, p harness.Params, pool *harness.Pool) (IT
 	cells, err := harness.Map(ctx, pool, "ittage", len(names)*nv,
 		func(ctx context.Context, shard int, seed uint64) (ittageCell, error) {
 			w, v := shard/nv, shard%nv
-			tr, _, err := cache.Get(names[w], s.Records)
+			cols, _, err := cache.GetColumns(names[w], s.Records)
 			if err != nil {
 				return ittageCell{}, err
 			}
-			res, err := sim.RunCtx(ctx, newITTAGEVariant(v, seed), tr)
+			res, err := sim.RunColumnsCtx(ctx, newITTAGEVariant(v, seed), cols)
 			if err != nil {
 				return ittageCell{}, err
 			}

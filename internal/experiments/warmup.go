@@ -73,12 +73,12 @@ func RunWarmupCtx(ctx context.Context, p harness.Params, pool *harness.Pool) (Wa
 	oaes, err := harness.Map(ctx, pool, "warmup", len(lengths)*k,
 		func(ctx context.Context, shard int, seed uint64) (float64, error) {
 			li, ki := shard/k, shard%k
-			tr, prof, err := cache.Get(p.Workload, lengths[li])
+			cols, prof, err := cache.GetColumns(p.Workload, lengths[li])
 			if err != nil {
 				return 0, err
 			}
 			m := sim.New(kinds[ki], sim.Options{SharedTokens: prof.SharedTokens, Seed: seed})
-			r, err := sim.RunCtx(ctx, m, tr)
+			r, err := sim.RunColumnsCtx(ctx, m, cols)
 			if err != nil {
 				return 0, err
 			}

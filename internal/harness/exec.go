@@ -458,6 +458,10 @@ type WorkerOptions struct {
 	// CacheBytes bounds the worker's process-local trace store
 	// (<= 0 means tracestore.DefaultMaxBytes).
 	CacheBytes int64
+	// TraceDir, when nonempty, points the worker's trace store at the
+	// shared persistent tier (tracestore.SetDir): workers decode traces
+	// another process already generated instead of regenerating them.
+	TraceDir string
 }
 
 // ServeWorker runs the worker loop: read a CellSpec batch frame, execute
@@ -467,6 +471,11 @@ func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, opts WorkerOptio
 	br := bufio.NewReader(r)
 	bw := bufio.NewWriter(w)
 	store := tracestore.New(opts.CacheBytes, nil)
+	if opts.TraceDir != "" {
+		if err := store.SetDir(opts.TraceDir); err != nil {
+			return fmt.Errorf("worker: trace dir %s: %w", opts.TraceDir, err)
+		}
+	}
 	for {
 		var req workerRequest
 		if err := readFrame(br, &req); err != nil {

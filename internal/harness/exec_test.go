@@ -14,12 +14,16 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 )
 
-const workerEnvVar = "STBPU_HARNESS_TEST_WORKER"
+const (
+	workerEnvVar         = "STBPU_HARNESS_TEST_WORKER"
+	workerTraceDirEnvVar = "STBPU_HARNESS_TEST_TRACEDIR"
+)
 
 // wireCell is a cell payload exercising float/uint64 wire fidelity.
 type wireCell struct {
@@ -47,6 +51,26 @@ func registerExecScenarios() {
 		},
 	})
 	Register(Scenario{
+		Name:        "_exec-trace",
+		Description: "exec-backend trace-store scenario",
+		Defaults:    Params{Trials: 4, Records: 2_000},
+		Run: func(ctx context.Context, p Params, pool *Pool) (any, error) {
+			cache := pool.Traces()
+			return Map(ctx, pool, "_exec-trace", p.Trials,
+				func(ctx context.Context, shard int, seed uint64) (uint64, error) {
+					cols, _, err := cache.GetColumns("505.mcf", p.Records)
+					if err != nil {
+						return 0, err
+					}
+					digest := seed
+					for i := 0; i < cols.Len(); i += 97 {
+						digest = digest*1099511628211 ^ cols.PCs[i] ^ cols.Targets[i]
+					}
+					return digest, nil
+				})
+		},
+	})
+	Register(Scenario{
 		Name:        "_exec-failing",
 		Description: "exec-backend failing-cell scenario",
 		Defaults:    Params{Trials: 8},
@@ -66,7 +90,10 @@ func TestMain(m *testing.M) {
 	switch os.Getenv(workerEnvVar) {
 	case "serve":
 		registerExecScenarios()
-		if err := ServeWorker(context.Background(), os.Stdin, os.Stdout, WorkerOptions{Workers: 1}); err != nil {
+		if err := ServeWorker(context.Background(), os.Stdin, os.Stdout, WorkerOptions{
+			Workers:  1,
+			TraceDir: os.Getenv(workerTraceDirEnvVar),
+		}); err != nil {
 			fmt.Fprintln(os.Stderr, "worker:", err)
 			os.Exit(1)
 		}
@@ -306,5 +333,56 @@ func TestServeWorkerProtocolRoundTrip(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Error("ServeWorker did not stop on EOF")
+	}
+}
+
+// TestExecWorkerSharesTraceDir is the worker-side gate for the
+// persistent trace tier: subprocess workers pointed at a shared
+// -trace-dir spill the traces they generate (visible as STBT files),
+// a second worker fleet serves from those spills, and results stay
+// byte-identical to the in-process run either way.
+func TestExecWorkerSharesTraceDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocess workers")
+	}
+	dir := t.TempDir()
+
+	runTrace := func(t *testing.T, pool *Pool) []byte {
+		t.Helper()
+		reports, err := RunAll(context.Background(), pool, Options{Filters: []string{"_exec-trace"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	local := runTrace(t, NewPool(2, 77))
+
+	newBackend := func() *ExecBackend {
+		b := newTestExecBackend(t, 1, "serve")
+		b.Env = append(b.Env, workerTraceDirEnvVar+"="+dir)
+		return b
+	}
+	pool := NewPool(2, 77)
+	pool.SetBackend(newBackend())
+	first := runTrace(t, pool)
+	if !bytes.Equal(local, first) {
+		t.Error("trace-dir worker results diverge from local")
+	}
+	spills, err := filepath.Glob(filepath.Join(dir, "*.stbt"))
+	if err != nil || len(spills) == 0 {
+		t.Fatalf("worker spilled no traces into %s (err %v)", dir, err)
+	}
+
+	// A fresh worker fleet decodes the spill instead of regenerating;
+	// replay must not notice the difference.
+	pool2 := NewPool(2, 77)
+	pool2.SetBackend(newBackend())
+	second := runTrace(t, pool2)
+	if !bytes.Equal(local, second) {
+		t.Error("spill-served worker results diverge from local")
 	}
 }

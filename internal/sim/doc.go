@@ -19,11 +19,17 @@
 //
 // # Replay engine
 //
-// RunCtx replays in 8192-record chunks through the BatchModel fast path
-// (StepBatch accumulates events in-model via bpu.Counters); Step remains
-// as a compatibility shim for models that only implement Model.
-// Run-scoped counters surface through the optional Finalizer interface.
-// Replay is deterministic for a fixed (trace, model, seed), which is
-// what lets the harness distribute cells across processes — see
-// docs/ARCHITECTURE.md "The determinism contract".
+// The hot path is columnar: RunColumnsCtx replays a trace.Columns
+// (struct-of-arrays) view in 8192-record chunks through the
+// ColumnModel fast path (StepColumns iterates the packed arrays with
+// branchless flag extraction, accumulating events in-model via
+// bpu.Counters). RunCtx serves AoS record slices through the
+// BatchModel path; Step remains as a compatibility shim for models
+// that only implement Model, and RunColumnsCtx materializes records
+// for pre-columnar models, so every model replays on every path with
+// bit-identical results (pinned by tests). Run-scoped counters surface
+// through the optional Finalizer interface. Replay is deterministic
+// for a fixed (trace, model, seed), which is what lets the harness
+// distribute cells across processes — see docs/ARCHITECTURE.md
+// "The determinism contract" and "Trace dataflow".
 package sim

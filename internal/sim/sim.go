@@ -34,6 +34,18 @@ type BatchModel interface {
 	StepBatch(recs []trace.Record, acc *Counters)
 }
 
+// ColumnModel is the columnar stepping fast path: StepColumns replays
+// rows [lo,hi) of a struct-of-arrays trace, folding resolution events
+// into acc. Implementations iterate the packed arrays directly —
+// branchless flag extraction, no per-record struct copy from the trace
+// stream — and must be bit-identical to stepping the equivalent
+// records through StepBatch/Step. RunColumnsCtx uses it when a model
+// implements it and falls back to materializing chunk-sized record
+// batches otherwise, so external models keep working unchanged.
+type ColumnModel interface {
+	StepColumns(cols *trace.Columns, lo, hi int, acc *Counters)
+}
+
 // Finalizer lets a model report run-scoped counters (re-randomizations,
 // flushes, ...) into the Result after replay finishes. RunCtx calls it
 // once at the end of a completed run, so new models can extend Result
@@ -137,6 +149,81 @@ func RunCtx(ctx context.Context, m Model, tr *trace.Trace) (Result, error) {
 		} else {
 			for i := start; i < end; i++ {
 				_, ev := m.Step(recs[i])
+				acc.Note(ev)
+			}
+		}
+	}
+	res.Mispredicts = acc.Mispredicts
+	res.Conds, res.DirCorrect = acc.Conds, acc.DirCorrect
+	res.TargetKnown, res.TargetCorrect = acc.TargetKnown, acc.TargetCorrect
+	res.Evictions, res.BTBMisses = acc.Evictions, acc.BTBMisses
+	if f, ok := m.(Finalizer); ok {
+		f.Finalize(&res)
+	}
+	return res, nil
+}
+
+// RunColumns replays a columnar trace through a model.
+func RunColumns(m Model, cols *trace.Columns) Result {
+	res, _ := RunColumnsCtx(context.Background(), m, cols)
+	return res
+}
+
+// RunColumnsCtx replays a struct-of-arrays trace through a model — the
+// columnar twin of RunCtx, and the suite's hot replay path. Chunking,
+// cancellation, and context/mode-switch accounting match RunCtx
+// exactly; the switch accounting reads only the PID column and the
+// kernel flag bit, so the model-independent scan never touches the
+// other columns. Models implementing ColumnModel step the packed
+// arrays in place; BatchModel-only models receive chunk-sized record
+// batches materialized into one reused scratch buffer; bare Models
+// step materialized records one at a time. All three paths are
+// bit-identical (pinned by tests).
+func RunColumnsCtx(ctx context.Context, m Model, cols *trace.Columns) (Result, error) {
+	n := cols.Len()
+	res := Result{Model: m.Name(), Workload: cols.Name, Records: n}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	cm, columnar := m.(ColumnModel)
+	bm, batched := m.(BatchModel)
+	var scratch []trace.Record
+	if !columnar && batched {
+		scratch = make([]trace.Record, 0, runCheckInterval)
+	}
+	var acc Counters
+	pids, flags := cols.PIDs, cols.Flags
+	for start := 0; start < n; start += runCheckInterval {
+		if start > 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
+		end := start + runCheckInterval
+		if end > n {
+			end = n
+		}
+		from := start
+		if from == 0 {
+			from = 1
+		}
+		for i := from; i < end; i++ {
+			if pids[i] != pids[i-1] {
+				res.CtxSwitches++
+			}
+			if (flags[i]^flags[i-1])&trace.FlagKernel != 0 {
+				res.ModeSwitches++
+			}
+		}
+		switch {
+		case columnar:
+			cm.StepColumns(cols, start, end, &acc)
+		case batched:
+			scratch = cols.AppendRecords(scratch[:0], start, end)
+			bm.StepBatch(scratch, &acc)
+		default:
+			for i := start; i < end; i++ {
+				_, ev := m.Step(cols.Record(i))
 				acc.Note(ev)
 			}
 		}
@@ -281,6 +368,32 @@ func (m *UnitModel) StepBatch(recs []trace.Record, acc *Counters) {
 	}
 }
 
+// StepColumns implements ColumnModel: the Step predict/update sequence
+// driven off the packed arrays. Only the PC/Target/Flags columns are
+// loaded per record (Update never reads the entity fields); the PID
+// and kernel-mode side columns are consulted solely for the
+// conservative model's entity salt.
+func (m *UnitModel) StepColumns(cols *trace.Columns, lo, hi int, acc *Counters) {
+	u := m.Unit
+	pcs, targets, flags := cols.PCs, cols.Targets, cols.Flags
+	for i := lo; i < hi; i++ {
+		f := flags[i]
+		rec := trace.Record{
+			PC:     pcs[i],
+			Target: targets[i],
+			Kind:   trace.Kind(f & trace.FlagKindMask),
+			Taken:  f&trace.FlagTaken != 0,
+		}
+		if m.entity != nil {
+			rec.PID = cols.PIDs[i]
+			rec.Kernel = f&trace.FlagKernel != 0
+			m.entity.setEntity(rec)
+		}
+		pred := u.Predict(rec.PC, rec.Kind)
+		acc.Note(u.Update(rec, pred))
+	}
+}
+
 // FlushModel wraps a UnitModel with microcode-style flushing.
 type FlushModel struct {
 	UnitModel
@@ -328,6 +441,31 @@ func (m *FlushModel) StepBatch(recs []trace.Record, acc *Counters) {
 	}
 }
 
+// StepColumns implements ColumnModel, shadowing the embedded UnitModel
+// fast path. The flush policy reads the entity columns per record, so
+// unlike the plain UnitModel path the PID/kernel side arrays stay hot.
+func (m *FlushModel) StepColumns(cols *trace.Columns, lo, hi int, acc *Counters) {
+	u := m.Unit
+	pcs, targets, flags := cols.PCs, cols.Targets, cols.Flags
+	for i := lo; i < hi; i++ {
+		f := flags[i]
+		rec := trace.Record{
+			PC:     pcs[i],
+			Target: targets[i],
+			PID:    cols.PIDs[i],
+			Kind:   trace.Kind(f & trace.FlagKindMask),
+			Taken:  f&trace.FlagTaken != 0,
+			Kernel: f&trace.FlagKernel != 0,
+		}
+		m.maybeFlush(rec)
+		if m.entity != nil {
+			m.entity.setEntity(rec)
+		}
+		pred := u.Predict(rec.PC, rec.Kind)
+		acc.Note(u.Update(rec, pred))
+	}
+}
+
 // Finalize implements Finalizer: flushing models report their barrier
 // count into the run result.
 func (m *FlushModel) Finalize(res *Result) { res.Flushes = m.flushes }
@@ -349,6 +487,12 @@ func (m *STBPUModel) Step(rec trace.Record) (bpu.Prediction, bpu.Events) {
 // batched path.
 func (m *STBPUModel) StepBatch(recs []trace.Record, acc *Counters) {
 	m.Inner.StepBatch(recs, acc)
+}
+
+// StepColumns implements ColumnModel by delegating to the core model's
+// columnar path.
+func (m *STBPUModel) StepColumns(cols *trace.Columns, lo, hi int, acc *Counters) {
+	m.Inner.StepColumns(cols, lo, hi, acc)
 }
 
 // Finalize implements Finalizer: STBPU models report their

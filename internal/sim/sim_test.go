@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"testing"
@@ -176,11 +177,13 @@ func BenchmarkRunSTBPU(b *testing.B) {
 	}
 }
 
-// BenchmarkReplayPath compares the batched StepBatch fast path against the
-// per-record Step shim on the same model and trace — the win the batching
-// refactor must show.
+// BenchmarkReplayPath compares the three replay paths on the same model
+// and trace: the columnar StepColumns fast path (what the suite runs),
+// the batched AoS StepBatch path, and the per-record Step shim — the
+// wins the columnar and batching refactors must keep showing.
 func BenchmarkReplayPath(b *testing.B) {
 	tr, p := genTrace(b, "505.mcf", 100_000)
+	cols := trace.FromTrace(tr)
 	for _, bc := range []struct {
 		name string
 		mk   func() Model
@@ -188,6 +191,13 @@ func BenchmarkReplayPath(b *testing.B) {
 		{"baseline", func() Model { return New(KindBaseline, Options{}) }},
 		{"stbpu", func() Model { return New(KindSTBPU, Options{SharedTokens: p.SharedTokens}) }},
 	} {
+		b.Run(bc.name+"/columns", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunColumnsCtx(context.Background(), bc.mk(), cols); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 		b.Run(bc.name+"/batched", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := RunCtx(context.Background(), bc.mk(), tr); err != nil {
@@ -203,6 +213,34 @@ func BenchmarkReplayPath(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSTBTDecode compares the two STBT decode paths on a 100k
+// 505.mcf trace: straight into columns (the disk-tier hot path) vs the
+// AoS wrapper that also materializes records.
+func BenchmarkSTBTDecode(b *testing.B) {
+	tr, _ := genTrace(b, "505.mcf", 100_000)
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.Run("columns", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := trace.ReadColumns(bytes.NewReader(data)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("records", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := trace.Read(bytes.NewReader(data)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // tokenThresholds builds a threshold config for tests.
@@ -315,5 +353,84 @@ func TestRunCtxCanceledMidReplay(t *testing.T) {
 	m3 := New(KindSTBPU, Options{SharedTokens: prof.SharedTokens, Seed: 7})
 	if want := Run(m3, tr); got != want {
 		t.Error("RunCtx and Run diverge on the same model/trace")
+	}
+}
+
+// batchOnly hides a model's ColumnModel implementation (keeping
+// StepBatch) so RunColumnsCtx takes the scratch-buffer fallback that
+// feeds chunk-sized record batches to pre-columnar batched models.
+type batchOnly struct{ m Model }
+
+func (b batchOnly) Name() string                                       { return b.m.Name() }
+func (b batchOnly) Step(rec trace.Record) (bpu.Prediction, bpu.Events) { return b.m.Step(rec) }
+func (b batchOnly) StepBatch(recs []trace.Record, acc *Counters) {
+	b.m.(BatchModel).StepBatch(recs, acc)
+}
+func (b batchOnly) Finalize(res *Result) {
+	if f, ok := b.m.(Finalizer); ok {
+		f.Finalize(res)
+	}
+}
+
+// TestColumnarPathMatchesBatched pins the tentpole determinism
+// contract: replaying the struct-of-arrays view through StepColumns —
+// and through both fallbacks for models that predate it — is
+// bit-identical to the batched AoS path for every Fig. 3 model.
+func TestColumnarPathMatchesBatched(t *testing.T) {
+	tr, prof := genTrace(t, "mysql_128con_50s", 30_000)
+	cols := trace.FromTrace(tr)
+	for _, kind := range Fig3Kinds() {
+		opt := Options{SharedTokens: prof.SharedTokens, Seed: 11}
+		want, err := RunCtx(context.Background(), New(kind, opt), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := New(kind, opt).(ColumnModel); !ok {
+			t.Errorf("%v does not implement ColumnModel", kind)
+		}
+		columnar, err := RunColumnsCtx(context.Background(), New(kind, opt), cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if columnar != want {
+			t.Errorf("%v: columnar %+v != batched %+v", kind, columnar, want)
+		}
+		viaBatch, err := RunColumnsCtx(context.Background(), batchOnly{New(kind, opt)}, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viaBatch != want {
+			t.Errorf("%v: batch-fallback %+v != batched %+v", kind, viaBatch, want)
+		}
+		viaStep, err := RunColumnsCtx(context.Background(), stepOnly{New(kind, opt)}, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viaStep != want {
+			t.Errorf("%v: step-fallback %+v != batched %+v", kind, viaStep, want)
+		}
+	}
+}
+
+// TestRunColumnsCanceled pins cancellation behavior on the columnar
+// path: an already-canceled context aborts before any stepping, and an
+// uncanceled run reproduces RunColumns exactly.
+func TestRunColumnsCanceled(t *testing.T) {
+	tr, prof := genTrace(t, "505.mcf", 40_000)
+	cols := trace.FromTrace(tr)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := New(KindSTBPU, Options{SharedTokens: prof.SharedTokens, Seed: 7})
+	if _, err := RunColumnsCtx(ctx, m, cols); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	got, err := RunColumnsCtx(context.Background(),
+		New(KindSTBPU, Options{SharedTokens: prof.SharedTokens, Seed: 7}), cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RunColumns(New(KindSTBPU, Options{SharedTokens: prof.SharedTokens, Seed: 7}), cols)
+	if got != want {
+		t.Error("RunColumnsCtx and RunColumns diverge on the same model/trace")
 	}
 }

@@ -28,6 +28,12 @@ import (
 // Delta coding keeps synthetic SPEC-sized traces at ~4-6 bytes/record, an
 // order of magnitude under the naive fixed layout, which matters for the
 // larger experiment sweeps.
+//
+// The decoder is written once, against the columnar representation:
+// ReadColumns parses straight into packed arrays, and Read is a
+// compatibility wrapper that materializes AoS records from the columns.
+// Bits 0-4 of the on-disk flag byte are exactly the Columns flag layout
+// (PackFlags), so the column decode copies the masked byte verbatim.
 
 var (
 	traceMagic = [4]byte{'S', 'T', 'B', 'T'}
@@ -40,11 +46,32 @@ var (
 
 const codecVersion = 1
 
+// flagSamePID is the codec-private stream bit: PID/Program bytes are
+// omitted because they repeat the previous record's.
+const flagSamePID byte = 1 << 5
+
 func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
 // Write encodes the trace to w in STBT format.
 func Write(w io.Writer, t *Trace) error {
+	return encodeSTBT(w, t.Name, len(t.Records), func(i int) (pc, target uint64, flags byte, pid uint32, prog uint16) {
+		r := &t.Records[i]
+		return r.PC, r.Target, PackFlags(r.Kind, r.Taken, r.Kernel), r.PID, r.Program
+	})
+}
+
+// WriteColumns encodes the columnar trace to w in STBT format, byte-
+// identical to Write of the equivalent AoS trace.
+func WriteColumns(w io.Writer, c *Columns) error {
+	return encodeSTBT(w, c.Name, c.Len(), func(i int) (pc, target uint64, flags byte, pid uint32, prog uint16) {
+		return c.PCs[i], c.Targets[i], c.Flags[i], c.PIDs[i], c.Programs[i]
+	})
+}
+
+// encodeSTBT is the single encoder implementation; at yields record i's
+// fields in either representation.
+func encodeSTBT(w io.Writer, name string, count int, at func(i int) (pc, target uint64, flags byte, pid uint32, prog uint16)) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(traceMagic[:]); err != nil {
 		return err
@@ -52,19 +79,19 @@ func Write(w io.Writer, t *Trace) error {
 	if err := bw.WriteByte(codecVersion); err != nil {
 		return err
 	}
-	if len(t.Name) > 0xffff {
-		return fmt.Errorf("trace: name too long (%d bytes)", len(t.Name))
+	if len(name) > 0xffff {
+		return fmt.Errorf("trace: name too long (%d bytes)", len(name))
 	}
 	var u16 [2]byte
-	binary.LittleEndian.PutUint16(u16[:], uint16(len(t.Name)))
+	binary.LittleEndian.PutUint16(u16[:], uint16(len(name)))
 	if _, err := bw.Write(u16[:]); err != nil {
 		return err
 	}
-	if _, err := bw.WriteString(t.Name); err != nil {
+	if _, err := bw.WriteString(name); err != nil {
 		return err
 	}
 	var u64 [8]byte
-	binary.LittleEndian.PutUint64(u64[:], uint64(len(t.Records)))
+	binary.LittleEndian.PutUint64(u64[:], uint64(count))
 	if _, err := bw.Write(u64[:]); err != nil {
 		return err
 	}
@@ -74,40 +101,46 @@ func Write(w io.Writer, t *Trace) error {
 	prevPID := uint32(0)
 	prevProg := uint16(0)
 	first := true
-	for _, r := range t.Records {
-		flags := byte(r.Kind)
-		if r.Taken {
-			flags |= 1 << 3
-		}
-		if r.Kernel {
-			flags |= 1 << 4
-		}
-		samePID := !first && r.PID == prevPID && r.Program == prevProg
+	for i := 0; i < count; i++ {
+		pc, target, flags, pid, prog := at(i)
+		samePID := !first && pid == prevPID && prog == prevProg
 		if samePID {
-			flags |= 1 << 5
+			flags |= flagSamePID
 		}
 		n := 0
 		buf[n] = flags
 		n++
-		n += binary.PutUvarint(buf[n:], zigzag(int64(r.PC)-int64(prevPC)))
-		n += binary.PutUvarint(buf[n:], zigzag(int64(r.Target)-int64(r.PC)))
+		n += binary.PutUvarint(buf[n:], zigzag(int64(pc)-int64(prevPC)))
+		n += binary.PutUvarint(buf[n:], zigzag(int64(target)-int64(pc)))
 		if _, err := bw.Write(buf[:n]); err != nil {
 			return err
 		}
 		if !samePID {
-			n = binary.PutUvarint(buf[:], uint64(r.PID))
-			n += binary.PutUvarint(buf[n:], uint64(r.Program))
+			n = binary.PutUvarint(buf[:], uint64(pid))
+			n += binary.PutUvarint(buf[n:], uint64(prog))
 			if _, err := bw.Write(buf[:n]); err != nil {
 				return err
 			}
 		}
-		prevPC, prevPID, prevProg, first = r.PC, r.PID, r.Program, false
+		prevPC, prevPID, prevProg, first = pc, pid, prog, false
 	}
 	return bw.Flush()
 }
 
-// Read decodes an STBT trace from r.
+// Read decodes an STBT trace from r as AoS records: a compatibility
+// wrapper over the columnar decoder.
 func Read(r io.Reader) (*Trace, error) {
+	c, err := ReadColumns(r)
+	if err != nil {
+		return nil, err
+	}
+	return c.Trace(), nil
+}
+
+// ReadColumns decodes an STBT trace from r straight into packed
+// columns, with no intermediate []Record allocation — the hot decode
+// path of the trace-cache disk tier.
+func ReadColumns(r io.Reader) (*Columns, error) {
 	br := bufio.NewReader(r)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
@@ -148,7 +181,14 @@ func Read(r io.Reader) (*Trace, error) {
 	if prealloc > 1<<16 {
 		prealloc = 1 << 16
 	}
-	t := &Trace{Name: string(name), Records: make([]Record, 0, prealloc)}
+	c := &Columns{
+		Name:     string(name),
+		PCs:      make([]uint64, 0, prealloc),
+		Targets:  make([]uint64, 0, prealloc),
+		Flags:    make([]byte, 0, prealloc),
+		PIDs:     make([]uint32, 0, prealloc),
+		Programs: make([]uint16, 0, prealloc),
+	}
 	prevPC := uint64(0)
 	prevPID := uint32(0)
 	prevProg := uint16(0)
@@ -157,7 +197,7 @@ func Read(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: record %d: %w", i, err)
 		}
-		kind := Kind(flags & 0x7)
+		kind := Kind(flags & FlagKindMask)
 		if kind >= numKinds {
 			return nil, fmt.Errorf("trace: record %d: invalid kind %d", i, kind)
 		}
@@ -169,31 +209,29 @@ func Read(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: record %d target: %w", i, err)
 		}
-		rec := Record{
-			Kind:   kind,
-			Taken:  flags&(1<<3) != 0,
-			Kernel: flags&(1<<4) != 0,
-		}
-		rec.PC = uint64(int64(prevPC) + unzigzag(pcDelta))
-		rec.Target = uint64(int64(rec.PC) + unzigzag(tgtDelta))
-		if flags&(1<<5) != 0 {
-			rec.PID, rec.Program = prevPID, prevProg
-		} else {
-			pid, err := binary.ReadUvarint(br)
+		pc := uint64(int64(prevPC) + unzigzag(pcDelta))
+		target := uint64(int64(pc) + unzigzag(tgtDelta))
+		pid, prog := prevPID, prevProg
+		if flags&flagSamePID == 0 {
+			p64, err := binary.ReadUvarint(br)
 			if err != nil {
 				return nil, fmt.Errorf("trace: record %d pid: %w", i, err)
 			}
-			prog, err := binary.ReadUvarint(br)
+			g64, err := binary.ReadUvarint(br)
 			if err != nil {
 				return nil, fmt.Errorf("trace: record %d program: %w", i, err)
 			}
-			if pid > 0xffffffff || prog > 0xffff {
+			if p64 > 0xffffffff || g64 > 0xffff {
 				return nil, fmt.Errorf("trace: record %d: pid/program out of range", i)
 			}
-			rec.PID, rec.Program = uint32(pid), uint16(prog)
+			pid, prog = uint32(p64), uint16(g64)
 		}
-		prevPC, prevPID, prevProg = rec.PC, rec.PID, rec.Program
-		t.Records = append(t.Records, rec)
+		c.PCs = append(c.PCs, pc)
+		c.Targets = append(c.Targets, target)
+		c.Flags = append(c.Flags, flags&flagRecordMask)
+		c.PIDs = append(c.PIDs, pid)
+		c.Programs = append(c.Programs, prog)
+		prevPC, prevPID, prevProg = pc, pid, prog
 	}
-	return t, nil
+	return c, nil
 }

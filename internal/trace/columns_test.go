@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randomRecords builds structurally valid records with adversarial
+// variety: kind mix, PID/program churn, kernel bursts, extreme address
+// deltas.
+func randomRecords(rng *rand.Rand, n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		k := Kind(rng.Intn(int(numKinds)))
+		r := Record{
+			PC:      rng.Uint64() & VAMask,
+			Target:  rng.Uint64() & VAMask,
+			Kind:    k,
+			Taken:   true,
+			PID:     uint32(rng.Intn(5)),
+			Program: uint16(rng.Intn(3)),
+			Kernel:  rng.Intn(4) == 0,
+		}
+		if k == KindCond {
+			r.Taken = rng.Intn(2) == 0
+		}
+		recs[i] = r
+	}
+	return recs
+}
+
+// TestColumnsRoundTripProperty is the lossless-conversion property
+// test: for randomized record sets, Records → Columns → Records is the
+// identity, and the columnar view answers every per-row accessor
+// identically to the source records.
+func TestColumnsRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		recs := randomRecords(rng, rng.Intn(2_000))
+		cols := FromRecords("prop", recs)
+		if err := cols.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if cols.Len() != len(recs) {
+			t.Fatalf("trial %d: len %d != %d", trial, cols.Len(), len(recs))
+		}
+		back := cols.ToRecords()
+		for i := range recs {
+			if back[i] != recs[i] {
+				t.Fatalf("trial %d record %d: round trip %+v != %+v", trial, i, back[i], recs[i])
+			}
+			if cols.Record(i) != recs[i] {
+				t.Fatalf("trial %d record %d: Record() diverges", trial, i)
+			}
+			if cols.Kind(i) != recs[i].Kind || cols.Taken(i) != recs[i].Taken || cols.Kernel(i) != recs[i].Kernel {
+				t.Fatalf("trial %d record %d: flag accessors diverge", trial, i)
+			}
+		}
+	}
+}
+
+// TestSTBTColumnsRoundTrip pins the codec contract of the columnar
+// paths: WriteColumns emits bytes identical to Write, and
+// STBT → ReadColumns → ToRecords reproduces the original records
+// (the decode-into-columns path is lossless end to end).
+func TestSTBTColumnsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		recs := randomRecords(rng, 1+rng.Intn(3_000))
+		tr := &Trace{Name: "stbt-prop", Records: recs}
+		cols := FromTrace(tr)
+
+		var aos, soa bytes.Buffer
+		if err := Write(&aos, tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteColumns(&soa, cols); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(aos.Bytes(), soa.Bytes()) {
+			t.Fatalf("trial %d: WriteColumns bytes diverge from Write", trial)
+		}
+
+		decoded, err := ReadColumns(bytes.NewReader(aos.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if decoded.Name != tr.Name || decoded.Len() != len(recs) {
+			t.Fatalf("trial %d: decoded shape %q/%d", trial, decoded.Name, decoded.Len())
+		}
+		back := decoded.ToRecords()
+		for i := range recs {
+			if back[i] != recs[i] {
+				t.Fatalf("trial %d record %d: STBT round trip %+v != %+v", trial, i, back[i], recs[i])
+			}
+		}
+	}
+}
+
+// TestColumnsValidateCatchesCorruption exercises each Validate arm.
+func TestColumnsValidateCatchesCorruption(t *testing.T) {
+	good := func() *Columns {
+		return FromRecords("v", []Record{
+			{PC: 0x1000, Target: 0x2000, Kind: KindCond, Taken: false},
+			{PC: 0x2000, Target: 0x3000, Kind: KindDirectJump, Taken: true},
+		})
+	}
+	cases := []struct {
+		name   string
+		break_ func(*Columns)
+	}{
+		{"ragged", func(c *Columns) { c.PIDs = c.PIDs[:1] }},
+		{"stray-flag-bits", func(c *Columns) { c.Flags[0] |= 1 << 6 }},
+		{"wide-pc", func(c *Columns) { c.PCs[0] = 1 << 50 }},
+		{"wide-target", func(c *Columns) { c.Targets[1] = 1 << 60 }},
+		{"bad-kind", func(c *Columns) { c.Flags[1] = 7 | FlagTaken }},
+		{"untaken-unconditional", func(c *Columns) { c.Flags[1] &^= FlagTaken }},
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("valid columns rejected: %v", err)
+	}
+	for _, tc := range cases {
+		c := good()
+		tc.break_(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: corruption not detected", tc.name)
+		}
+	}
+}
+
+// TestAppendRecordsWindows pins the chunked fallback materializer.
+func TestAppendRecordsWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	recs := randomRecords(rng, 100)
+	cols := FromRecords("w", recs)
+	got := cols.AppendRecords(nil, 10, 35)
+	if len(got) != 25 {
+		t.Fatalf("window len = %d", len(got))
+	}
+	for i, r := range got {
+		if r != recs[10+i] {
+			t.Fatalf("window record %d diverges", i)
+		}
+	}
+	// Reuse must not leak prior contents.
+	got = cols.AppendRecords(got[:0], 99, 100)
+	if len(got) != 1 || got[0] != recs[99] {
+		t.Fatal("scratch reuse corrupted the window")
+	}
+}
+
+// TestColumnsSizeBytesExact pins the exact-footprint arithmetic the
+// tracestore byte budget relies on.
+func TestColumnsSizeBytesExact(t *testing.T) {
+	cols := FromRecords("abcd", make([]Record, 100))
+	want := int64(100*(8+8+1+4+2) + 4)
+	if got := cols.SizeBytes(); got != want {
+		t.Errorf("SizeBytes = %d, want %d", got, want)
+	}
+}

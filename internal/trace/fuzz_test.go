@@ -5,8 +5,10 @@ import (
 	"testing"
 )
 
-// FuzzRead hammers the STBT decoder with arbitrary bytes: error or valid
-// trace, never a panic.
+// FuzzRead hammers the STBT decoders with arbitrary bytes: error or
+// valid trace, never a panic — and whenever arbitrary bytes do decode,
+// the decode-into-columns path must be stable under re-encoding
+// (decode → WriteColumns → decode is the identity).
 func FuzzRead(f *testing.F) {
 	tr := &Trace{Name: "seed"}
 	for i := 0; i < 100; i++ {
@@ -24,11 +26,54 @@ func FuzzRead(f *testing.F) {
 	f.Add(valid[:8])
 	f.Add([]byte("STBT"))
 	f.Add([]byte{})
+	// Columns-specific seed: kernel records and PID churn exercise the
+	// flag masking and samePID reconstruction in the columnar decoder.
+	churn := &Trace{Name: "churn"}
+	for i := 0; i < 64; i++ {
+		churn.Records = append(churn.Records, Record{
+			PC: uint64(i) * 4, Target: uint64(i)*4 + 4,
+			Kind: KindCond, Taken: i%3 == 0, Kernel: i%2 == 0,
+			PID: uint32(i % 7), Program: uint16(i % 5),
+		})
+	}
+	buf.Reset()
+	if err := Write(&buf, churn); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), buf.Bytes()...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		got, err := Read(bytes.NewReader(data))
-		if err == nil && got == nil {
-			t.Fatal("nil trace with nil error")
+		cols, err := ReadColumns(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if cols == nil {
+			t.Fatal("nil columns with nil error")
+		}
+		// Whatever decoded must re-encode and decode back identically.
+		var out bytes.Buffer
+		if err := WriteColumns(&out, cols); err != nil {
+			t.Fatalf("re-encode of decoded columns failed: %v", err)
+		}
+		again, err := ReadColumns(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Len() != cols.Len() || again.Name != cols.Name {
+			t.Fatalf("re-decode shape %q/%d != %q/%d", again.Name, again.Len(), cols.Name, cols.Len())
+		}
+		for i := 0; i < cols.Len(); i++ {
+			if again.Record(i) != cols.Record(i) {
+				t.Fatalf("record %d unstable under re-encode", i)
+			}
+		}
+		// The AoS wrapper sees exactly the columnar decode.
+		rt, err := Read(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("Read failed where ReadColumns succeeded: %v", err)
+		}
+		if len(rt.Records) != cols.Len() {
+			t.Fatalf("Read len %d != ReadColumns len %d", len(rt.Records), cols.Len())
 		}
 	})
 }

@@ -10,6 +10,10 @@
 // (presets.go) tuned to reproduce each workload's predictability class and
 // system-call/context-switch behaviour, plus a compact binary codec
 // (codec.go) so traces can be stored and replayed like PT dumps.
+// Traces exist in two lossless representations: []Record (AoS, this
+// file) and Columns (SoA, columns.go) — the replay fast path and the
+// trace cache consume the columnar form, and the STBT decoder parses
+// straight into it (docs/ARCHITECTURE.md, "Trace dataflow").
 package trace
 
 import "fmt"

@@ -1,5 +1,6 @@
 // The Store implementation: LRU bookkeeping, singleflight generation,
-// and stats (see doc.go for the package overview).
+// columnar residency with lazy AoS materialization, and stats (see
+// doc.go for the package overview; disk.go holds the persistent tier).
 
 package tracestore
 
@@ -28,14 +29,29 @@ func (k Key) String() string { return fmt.Sprintf("%s@%d", k.Name, k.Records) }
 // results must not depend on which copy a cell observed.
 type GenFunc func(name string, records int) (*trace.Trace, trace.Profile, error)
 
+// ProfileFunc derives the workload profile for a key without generating
+// the trace. The disk tier needs it: a trace decoded from an STBT spill
+// carries no profile, so the store re-derives the (cheap, pure-metadata)
+// profile instead of regenerating the records.
+type ProfileFunc func(name string, records int) (trace.Profile, error)
+
+// PresetProfile is the default ProfileFunc: the named preset resized to
+// the requested record count — exactly the profile PresetGen returns.
+func PresetProfile(name string, records int) (trace.Profile, error) {
+	p, err := trace.Preset(name)
+	if err != nil {
+		return trace.Profile{}, err
+	}
+	return p.WithRecords(records), nil
+}
+
 // PresetGen is the default generator: the named trace preset resized to
 // the requested record count.
 func PresetGen(name string, records int) (*trace.Trace, trace.Profile, error) {
-	p, err := trace.Preset(name)
+	p, err := PresetProfile(name, records)
 	if err != nil {
 		return nil, trace.Profile{}, err
 	}
-	p = p.WithRecords(records)
 	tr, err := trace.Generate(p)
 	if err != nil {
 		return nil, trace.Profile{}, err
@@ -43,28 +59,57 @@ func PresetGen(name string, records int) (*trace.Trace, trace.Profile, error) {
 	return tr, p, nil
 }
 
+// SizeOf reports the resident footprint in bytes of one stored trace:
+// its columnar representation plus, when already materialized, the AoS
+// record view (recs is nil until some Get caller asked for records).
+// The store charges every entry through this hook, so tests can pin
+// byte-exact budgets and alternative deployments can charge for
+// overheads this package cannot see.
+type SizeOf func(cols *trace.Columns, recs *trace.Trace) int64
+
+// ExactSize is the default SizeOf: the capacity-exact footprint of the
+// columns (trace.Columns.SizeBytes) plus the record array when
+// materialized, plus fixed per-entry bookkeeping overhead. Unlike the
+// pre-columnar estimate it charges the true backing-array capacities,
+// so the byte budget is respected to the byte.
+func ExactSize(cols *trace.Columns, recs *trace.Trace) int64 {
+	n := entryOverheadBytes + cols.SizeBytes()
+	if recs != nil {
+		n += int64(cap(recs.Records)) * recordBytes
+	}
+	return n
+}
+
 // DefaultMaxBytes bounds stores whose creator does not choose a budget:
 // large enough that a QuickScale suite run never evicts, small enough that
 // a full-scale sweep cannot hold hundreds of 250k-record traces at once.
 const DefaultMaxBytes = 256 << 20
 
-// recordBytes is the in-memory footprint of one trace record.
+// recordBytes is the in-memory footprint of one AoS trace record.
 const recordBytes = int64(unsafe.Sizeof(trace.Record{}))
 
-// entryOverheadBytes charges each entry for its map/list/struct overhead
-// so a pathological many-tiny-traces workload still respects the bound.
+// entryOverheadBytes charges each entry for its map/list/struct/header
+// overhead so a pathological many-tiny-traces workload still respects
+// the bound.
 const entryOverheadBytes = 256
 
 // Stats is a point-in-time snapshot of store counters. Hits+Misses counts
-// Get calls; Generations counts actual synth runs (Misses minus waiters
-// that piggybacked on an in-flight generation, plus regenerations after
-// eviction — with deduplication it equals the number of distinct keys
-// materialized, counting each re-materialization after eviction).
+// Get/GetColumns calls; Generations counts actual synth runs (disk-tier
+// loads satisfy a miss without a generation). The Disk* counters are
+// zero unless a disk tier is configured (SetDir).
 type Stats struct {
 	Hits        uint64 `json:"hits"`
 	Misses      uint64 `json:"misses"`
 	Generations uint64 `json:"generations"`
 	Evictions   uint64 `json:"evictions"`
+	// DiskHits counts misses satisfied by decoding a spilled STBT file;
+	// DiskMisses counts misses that found no usable spill; DiskWrites
+	// counts traces spilled; DiskErrors counts unreadable/corrupt spills
+	// and failed writes (both fall back to generation, never fail a Get).
+	DiskHits   uint64 `json:"disk_hits,omitempty"`
+	DiskMisses uint64 `json:"disk_misses,omitempty"`
+	DiskWrites uint64 `json:"disk_writes,omitempty"`
+	DiskErrors uint64 `json:"disk_errors,omitempty"`
 	// Bytes is the current resident size; MaxBytes the configured bound.
 	Bytes    int64 `json:"bytes"`
 	MaxBytes int64 `json:"max_bytes"`
@@ -74,25 +119,39 @@ type Stats struct {
 // New. All methods are safe for concurrent use.
 type Store struct {
 	gen      GenFunc
+	profile  ProfileFunc
 	maxBytes int64
+	// presetGen records that gen is the default PresetGen pipeline —
+	// the only generator whose spills the disk tier may trust or
+	// produce (SetDir enforces it).
+	presetGen bool
 
 	mu      sync.Mutex
+	sizeOf  SizeOf
+	dir     string // disk tier root; "" disables the tier
 	entries map[Key]*entry
 	lru     *list.List // front = most recent; values are *entry
 	bytes   int64
 
-	hits, misses, generations, evictions uint64
+	hits, misses, generations, evictions         uint64
+	diskHits, diskMisses, diskWrites, diskErrors uint64
 }
 
 // entry is one cached (or in-flight) trace. The sync.Once gives waiters
-// singleflight semantics: the first Get for a key generates, concurrent
-// Gets block on the same Once and share the result read-only.
+// singleflight semantics: the first Get for a key fills (disk load or
+// generation), concurrent Gets block on the same Once and share the
+// result read-only. The columnar view is the canonical residency;
+// recOnce materializes the AoS view at most once per residency, on the
+// first Get that needs records (re-charging the entry's bytes).
 type entry struct {
 	key  Key
 	once sync.Once
-	tr   *trace.Trace
+	cols *trace.Columns
 	prof trace.Profile
 	err  error
+
+	recOnce sync.Once
+	recs    *trace.Trace
 
 	bytes int64
 	elem  *list.Element // LRU position; nil while generating or after eviction
@@ -100,26 +159,64 @@ type entry struct {
 
 // New builds a store bounded to maxBytes of resident trace data
 // (maxBytes <= 0 means DefaultMaxBytes) generating through gen
-// (nil means PresetGen).
+// (nil means PresetGen, with PresetProfile as the profile deriver).
 func New(maxBytes int64, gen GenFunc) *Store {
 	if maxBytes <= 0 {
 		maxBytes = DefaultMaxBytes
 	}
+	presetGen := gen == nil
 	if gen == nil {
 		gen = PresetGen
 	}
 	return &Store{
-		gen:      gen,
-		maxBytes: maxBytes,
-		entries:  map[Key]*entry{},
-		lru:      list.New(),
+		gen:       gen,
+		profile:   PresetProfile,
+		maxBytes:  maxBytes,
+		presetGen: presetGen,
+		sizeOf:    ExactSize,
+		entries:   map[Key]*entry{},
+		lru:       list.New(),
 	}
 }
 
-// Get returns the trace for (name, records), generating it at most once
-// per residency no matter how many cells ask concurrently. The returned
-// trace is shared and must be treated as read-only.
+// SetSizeOf installs the byte-accounting hook (nil reverts to
+// ExactSize). Call before the first Get; existing entries keep the
+// charge they were admitted with.
+func (s *Store) SetSizeOf(fn SizeOf) {
+	if fn == nil {
+		fn = ExactSize
+	}
+	s.mu.Lock()
+	s.sizeOf = fn
+	s.mu.Unlock()
+}
+
+// Get returns the AoS trace for (name, records), generating it at most
+// once per residency no matter how many cells ask concurrently. The
+// record view is materialized from the stored columns at most once per
+// residency and shared; the returned trace must be treated as
+// read-only.
 func (s *Store) Get(name string, records int) (*trace.Trace, trace.Profile, error) {
+	e := s.entryFor(name, records)
+	if e.err != nil {
+		return nil, trace.Profile{}, e.err
+	}
+	return s.recordsOf(e), e.prof, nil
+}
+
+// GetColumns returns the columnar trace for (name, records): the
+// replay-hot path, which never materializes AoS records. The returned
+// columns are shared and must be treated as read-only.
+func (s *Store) GetColumns(name string, records int) (*trace.Columns, trace.Profile, error) {
+	e := s.entryFor(name, records)
+	if e.err != nil {
+		return nil, trace.Profile{}, e.err
+	}
+	return e.cols, e.prof, nil
+}
+
+// entryFor finds or creates the entry and fills it exactly once.
+func (s *Store) entryFor(name string, records int) *entry {
 	key := Key{Name: name, Records: records}
 
 	s.mu.Lock()
@@ -136,24 +233,83 @@ func (s *Store) Get(name string, records int) (*trace.Trace, trace.Profile, erro
 	}
 	s.mu.Unlock()
 
-	e.once.Do(func() {
-		e.tr, e.prof, e.err = s.gen(name, records)
+	e.once.Do(func() { s.fill(e) })
+	return e
+}
 
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if e.err != nil {
-			// Failed generation is not cached: waiters on this entry see
-			// the error, the next Get retries with a fresh entry.
-			delete(s.entries, key)
-			return
+// fill materializes one entry: disk tier first (when configured), then
+// the generator. It runs outside the store lock — generation is the
+// expensive part singleflight exists to amortize.
+func (s *Store) fill(e *entry) {
+	name, records := e.key.Name, e.key.Records
+	if s.diskDir() != "" {
+		if cols, ok := s.loadDisk(e.key); ok {
+			if prof, perr := s.profile(name, records); perr == nil {
+				e.cols, e.prof = cols, prof
+				s.mu.Lock()
+				s.diskHits++
+				s.mu.Unlock()
+				s.admit(e, false)
+				return
+			}
+			// A spill whose profile cannot be re-derived (a foreign file
+			// squatting on a name the preset table does not know) is
+			// useless: fall through, and let generation fail the same way.
+			s.mu.Lock()
+			s.diskMisses++
+			s.mu.Unlock()
 		}
+	}
+	tr, prof, err := s.gen(name, records)
+	if err != nil {
+		e.err = err
+		s.mu.Lock()
+		// Failed generation is not cached: waiters on this entry see
+		// the error, the next Get retries with a fresh entry.
+		delete(s.entries, e.key)
+		s.mu.Unlock()
+		return
+	}
+	// Residency is columnar: the generator's AoS slice is converted and
+	// released, so a trace consumed only through GetColumns never pins
+	// the 32-byte-per-record row view. Get callers rebuild it lazily —
+	// one memcpy-scale pass per residency, trivial next to generation.
+	e.cols, e.prof = trace.FromTrace(tr), prof
+	if s.diskDir() != "" {
+		s.spill(e.key, e.cols)
+	}
+	s.admit(e, true)
+}
+
+// admit charges a filled entry against the budget and inserts it at the
+// front of the LRU.
+func (s *Store) admit(e *entry, generated bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if generated {
 		s.generations++
-		e.bytes = int64(len(e.tr.Records))*recordBytes + entryOverheadBytes
-		s.bytes += e.bytes
-		e.elem = s.lru.PushFront(e)
-		s.evictLocked()
+	}
+	e.bytes = s.sizeOf(e.cols, e.recs)
+	s.bytes += e.bytes
+	e.elem = s.lru.PushFront(e)
+	s.evictLocked()
+}
+
+// recordsOf materializes the entry's AoS view at most once per
+// residency and re-charges the entry for the added footprint.
+func (s *Store) recordsOf(e *entry) *trace.Trace {
+	e.recOnce.Do(func() {
+		e.recs = e.cols.Trace()
+		s.mu.Lock()
+		if e.elem != nil {
+			grown := s.sizeOf(e.cols, e.recs)
+			s.bytes += grown - e.bytes
+			e.bytes = grown
+			s.evictLocked()
+		}
+		s.mu.Unlock()
 	})
-	return e.tr, e.prof, e.err
+	return e.recs
 }
 
 // evictLocked drops least-recently-used entries until the store fits its
@@ -190,6 +346,10 @@ func (s *Store) Stats() Stats {
 		Misses:      s.misses,
 		Generations: s.generations,
 		Evictions:   s.evictions,
+		DiskHits:    s.diskHits,
+		DiskMisses:  s.diskMisses,
+		DiskWrites:  s.diskWrites,
+		DiskErrors:  s.diskErrors,
 		Bytes:       s.bytes,
 		MaxBytes:    s.maxBytes,
 	}

@@ -105,11 +105,18 @@ func TestConcurrentGetsGenerateOnce(t *testing.T) {
 	}
 }
 
+// recordCountSize is a SizeOf hook that charges one byte per record,
+// making budget arithmetic in eviction tests exact and self-evident.
+func recordCountSize(cols *trace.Columns, recs *trace.Trace) int64 {
+	return int64(cols.Len())
+}
+
 func TestByteBoundEviction(t *testing.T) {
 	var calls atomic.Uint64
-	const perTrace = 1_000*recordBytes + entryOverheadBytes
+	const perTrace = 1_000
 	// Room for exactly two resident traces.
 	s := New(2*perTrace, synthGen(&calls))
+	s.SetSizeOf(recordCountSize)
 
 	for _, name := range []string{"a", "b", "c"} {
 		if _, _, err := s.Get(name, 1_000); err != nil {
@@ -145,8 +152,9 @@ func TestByteBoundEviction(t *testing.T) {
 
 func TestLRUOrderRespectsHits(t *testing.T) {
 	var calls atomic.Uint64
-	const perTrace = 1_000*recordBytes + entryOverheadBytes
+	const perTrace = 1_000
 	s := New(2*perTrace, synthGen(&calls))
+	s.SetSizeOf(recordCountSize)
 
 	s.Get("a", 1_000)
 	s.Get("b", 1_000)
@@ -211,8 +219,9 @@ func TestCachedEqualsFresh(t *testing.T) {
 				t.Error("cached trace differs from freshly generated")
 			}
 
-			// Evict by flooding a tiny store, then regenerate.
-			tiny := New(8_000*recordBytes+entryOverheadBytes+1, nil)
+			// Evict by flooding a tiny store sized to hold exactly one
+			// fully-materialized trace, then regenerate.
+			tiny := New(ExactSize(trace.FromTrace(fresh), fresh), nil)
 			tiny.Get(name, 8_000)
 			tiny.Get("519.lbm", 8_000) // evicts name
 			regen, _, err := tiny.Get(name, 8_000)
@@ -231,8 +240,9 @@ func TestCachedEqualsFresh(t *testing.T) {
 
 func TestConcurrentMixedKeys(t *testing.T) {
 	var calls atomic.Uint64
-	const perTrace = 500*recordBytes + entryOverheadBytes
+	const perTrace = 500
 	s := New(3*perTrace, synthGen(&calls))
+	s.SetSizeOf(recordCountSize)
 
 	var wg sync.WaitGroup
 	for g := 0; g < 16; g++ {
@@ -259,5 +269,107 @@ func TestConcurrentMixedKeys(t *testing.T) {
 	}
 	if calls.Load() != st.Generations {
 		t.Errorf("generator calls %d != recorded generations %d", calls.Load(), st.Generations)
+	}
+}
+
+// TestBudgetRespectedToTheByte pins the SizeOf accounting exactly: with
+// a hook charging one byte per record, a budget of exactly two traces
+// keeps two resident, and one byte less keeps only one.
+func TestBudgetRespectedToTheByte(t *testing.T) {
+	var calls atomic.Uint64
+
+	exact := New(2_000, synthGen(&calls))
+	exact.SetSizeOf(recordCountSize)
+	exact.Get("a", 1_000)
+	exact.Get("b", 1_000)
+	if st := exact.Stats(); st.Bytes != 2_000 || st.Evictions != 0 {
+		t.Errorf("exact-fit budget: bytes=%d evictions=%d, want 2000/0", st.Bytes, st.Evictions)
+	}
+
+	under := New(1_999, synthGen(&calls))
+	under.SetSizeOf(recordCountSize)
+	under.Get("a", 1_000)
+	under.Get("b", 1_000)
+	st := under.Stats()
+	if st.Evictions != 1 || under.Len() != 1 {
+		t.Errorf("one-byte-under budget: evictions=%d resident=%d, want 1/1", st.Evictions, under.Len())
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Errorf("resident bytes %d exceed bound %d", st.Bytes, st.MaxBytes)
+	}
+}
+
+// TestMaterializationRecharges pins the lazy-AoS accounting: a
+// GetColumns-only entry is charged for its columns; the first Get that
+// needs records grows the charge and can push the store over budget,
+// evicting the LRU entry.
+func TestMaterializationRecharges(t *testing.T) {
+	var calls atomic.Uint64
+	s := New(10, synthGen(&calls))
+	// Columns cost 1 byte, the materialized record view 100 more.
+	s.SetSizeOf(func(cols *trace.Columns, recs *trace.Trace) int64 {
+		if recs != nil {
+			return 101
+		}
+		return 1
+	})
+
+	if _, _, err := s.GetColumns("a", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.GetColumns("b", 100); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Bytes != 2 || st.Evictions != 0 {
+		t.Fatalf("columns-only stats = %+v, want 2 bytes, 0 evictions", st)
+	}
+
+	// Materializing "b" raises its charge to 101: over budget, "a" goes.
+	if _, _, err := s.Get("b", 100); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Error("materialization did not trigger eviction under byte pressure")
+	}
+	if s.Len() != 0 { // 101 > 10: the materialized entry itself is oversize
+		t.Errorf("resident = %d, want 0 (oversize after materialization)", s.Len())
+	}
+}
+
+// TestColumnsAndRecordsViewsAgree pins the two Get paths to one
+// underlying trace: the AoS view is the row-major projection of the
+// columns, and repeated Gets share one materialization.
+func TestColumnsAndRecordsViewsAgree(t *testing.T) {
+	s := New(0, nil)
+	cols, colsProf, err := s.GetColumns("505.mcf", 4_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, trProf, err := s.Get("505.mcf", 4_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if colsProf != trProf {
+		t.Error("profiles diverge between GetColumns and Get")
+	}
+	if cols.Len() != len(tr.Records) || cols.Name != tr.Name {
+		t.Fatalf("views disagree on shape: %d/%q vs %d/%q",
+			cols.Len(), cols.Name, len(tr.Records), tr.Name)
+	}
+	for i := range tr.Records {
+		if cols.Record(i) != tr.Records[i] {
+			t.Fatalf("record %d diverges between views", i)
+		}
+	}
+	tr2, _, err := s.Get("505.mcf", 4_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2 != tr {
+		t.Error("second Get materialized a fresh record view")
+	}
+	if st := s.Stats(); st.Generations != 1 {
+		t.Errorf("generations = %d, want 1", st.Generations)
 	}
 }
