@@ -15,6 +15,8 @@
 //	stbpu-suite -timing=false               # reproducible output bytes
 //	stbpu-suite -backend exec -exec-workers 4  # cells on 4 subprocesses
 //	stbpu-suite -worker                     # subprocess worker mode
+//	stbpu-suite -backend remote -listen :7701  # coordinate a TCP worker fleet
+//	stbpu-suite -worker -connect host:7701  # join a fleet as a network worker
 //	stbpu-suite -journal run.jsonl          # stream completed cells to a journal
 //	stbpu-suite -journal run.jsonl -resume  # skip cells the journal already holds
 //	stbpu-suite -trace-dir ~/.cache/stbpu   # persist generated traces across runs
@@ -22,8 +24,12 @@
 // With -backend exec the suite spawns `stbpu-suite -worker` subprocesses
 // that execute cell batches received as length-prefixed JSON frames on
 // stdin and answer results on stdout; -backend mixed splits cells
-// between the in-process pool and the subprocess fleet. Results are
-// bit-identical across backends (see docs/ARCHITECTURE.md).
+// between the in-process pool and the subprocess fleet. With -backend
+// remote the suite listens on -listen and schedules the same frames over
+// TCP across whatever workers have dialed in with -worker -connect —
+// workers may join late, die mid-chunk, or straggle (their cells are
+// speculatively re-executed elsewhere). Results are bit-identical across
+// backends and fleet shapes (see docs/ARCHITECTURE.md).
 //
 // With -journal every completed cell is appended to a JSONL run journal
 // as it finishes; if the run dies, rerunning with -resume skips the
@@ -41,6 +47,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"stbpu/internal/experiments"
 	"stbpu/internal/harness"
@@ -76,8 +83,17 @@ type config struct {
 	// as STBT files and later runs (and exec workers) decode instead of
 	// regenerating.
 	traceDir    string
-	backend     string // "local" (default), "exec", or "mixed"
+	backend     string // "local" (default), "exec", "mixed", or "remote"
 	execWorkers int
+	// execTimeout bounds one exec-worker batch; a worker that exceeds it
+	// is killed and its chunk requeued (0 = no deadline).
+	execTimeout time.Duration
+	// listen is the -backend remote coordinator's TCP address.
+	listen string
+	// listenReady, when set, receives the coordinator's bound address
+	// once it is accepting workers (tests use it to learn the ephemeral
+	// port before launching workers).
+	listenReady func(addr string)
 	// journal streams completed cells to this JSONL file; with resume
 	// set, cells the file already holds are not re-executed.
 	journal string
@@ -116,11 +132,24 @@ func buildBackend(cfg config) (harness.Backend, error) {
 				cmd = append(cmd, fmt.Sprintf("-trace-dir=%s", cfg.traceDir))
 			}
 		}
-		return &harness.ExecBackend{Command: cmd, Env: cfg.workerEnv, Workers: execWorkers}, nil
+		return &harness.ExecBackend{Command: cmd, Env: cfg.workerEnv, Workers: execWorkers, BatchTimeout: cfg.execTimeout}, nil
 	}
 	switch cfg.backend {
 	case "", "local":
 		return nil, nil
+	case "remote":
+		rb := &harness.RemoteBackend{Addr: cfg.listen, TraceDir: cfg.traceDir}
+		// Bind eagerly so the operator (and tests, via listenReady) learn
+		// where to point workers before the first batch needs them.
+		addr, err := rb.Start()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(cfg.stderr, "remote: listening on %s; join workers with: stbpu-suite -worker -connect %s\n", addr, addr)
+		if cfg.listenReady != nil {
+			cfg.listenReady(addr.String())
+		}
+		return rb, nil
 	case "exec":
 		return newExec()
 	case "mixed":
@@ -135,7 +164,7 @@ func buildBackend(cfg config) (harness.Backend, error) {
 			harness.WeightedBackend{Backend: eb, Weight: execWorkers},
 		), nil
 	default:
-		return nil, fmt.Errorf("unknown backend %q (want local, exec, or mixed)", cfg.backend)
+		return nil, fmt.Errorf("unknown backend %q (want local, exec, mixed, or remote)", cfg.backend)
 	}
 }
 
@@ -273,9 +302,12 @@ func run() error {
 		quick     = flag.Bool("quick", false, "use the QuickScale test/benchmark sizing")
 		cacheB    = flag.Int64("cache-bytes", tracestore.DefaultMaxBytes, "byte budget for the shared cross-run trace store (<=0 = default budget)")
 		traceDir  = flag.String("trace-dir", "", "persistent trace tier: spill generated traces as STBT files here and decode them on later runs (shared with exec workers)")
-		backend   = flag.String("backend", "local", "cell execution backend: local, exec (subprocess workers), or mixed")
+		backend   = flag.String("backend", "local", "cell execution backend: local, exec (subprocess workers), mixed, or remote (TCP worker fleet)")
 		execW     = flag.Int("exec-workers", 2, "subprocess worker count for -backend exec/mixed")
-		worker    = flag.Bool("worker", false, "run as a subprocess worker: execute length-prefixed JSON cell batches from stdin")
+		execTO    = flag.Duration("exec-timeout", 10*time.Minute, "kill an exec worker whose batch exceeds this and requeue the chunk (0 = no deadline)")
+		listen    = flag.String("listen", "", "-backend remote: TCP address to coordinate workers on (empty = 127.0.0.1:0)")
+		connect   = flag.String("connect", "", "with -worker: dial this coordinator address instead of serving stdin/stdout")
+		worker    = flag.Bool("worker", false, "run as a worker: execute cell batches from stdin, or from the -connect coordinator")
 		journalF  = flag.String("journal", "", "stream completed cells to this JSONL run journal (schema: docs/SUITE_JSON.md)")
 		resume    = flag.Bool("resume", false, "load the -journal file first and skip cells it already holds")
 		timing    = flag.Bool("timing", true, "record wall-clock timing (disable for byte-stable output)")
@@ -287,11 +319,18 @@ func run() error {
 	if *worker {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
-		return harness.ServeWorker(ctx, os.Stdin, os.Stdout, harness.WorkerOptions{
+		opts := harness.WorkerOptions{
 			Workers:    *workers,
 			CacheBytes: *cacheB,
 			TraceDir:   *traceDir,
-		})
+		}
+		if *connect != "" {
+			return harness.ServeRemoteWorker(ctx, *connect, opts)
+		}
+		return harness.ServeWorker(ctx, os.Stdin, os.Stdout, opts)
+	}
+	if *connect != "" {
+		return fmt.Errorf("-connect requires -worker")
 	}
 
 	if *list {
@@ -311,6 +350,8 @@ func run() error {
 		traceDir:    *traceDir,
 		backend:     *backend,
 		execWorkers: *execW,
+		execTimeout: *execTO,
+		listen:      *listen,
 		journal:     *journalF,
 		resume:      *resume,
 		timing:      *timing,

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"stbpu/internal/harness"
@@ -122,6 +123,62 @@ func TestExecBackendMatchesLocalGolden(t *testing.T) {
 	normalizePlacement(&docRemote)
 	if !bytes.Equal(docBytes(t, docLocal), docBytes(t, docRemote)) {
 		t.Error("exec-backend suite output diverges from local")
+	}
+}
+
+// TestRemoteBackendMatchesLocalGolden is the fleet-level acceptance
+// gate: the golden scenario set coordinated over loopback TCP across
+// two workers must produce a suite document byte-identical to the
+// in-process run, modulo placement stats, with both workers visible in
+// the fleet stats block.
+func TestRemoteBackendMatchesLocalGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a TCP worker fleet")
+	}
+	docLocal, err := runSuite(context.Background(), goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	remote := goldenConfig()
+	remote.backend = "remote"
+	remote.listen = "127.0.0.1:0"
+	addrCh := make(chan string, 1)
+	remote.listenReady = func(addr string) { addrCh <- addr }
+
+	// Workers dial in as soon as the coordinator reports its port; they
+	// exit when runSuite closes the backend (their connections drop).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var workers sync.WaitGroup
+	workers.Add(2)
+	go func() {
+		addr := <-addrCh
+		for i := 0; i < 2; i++ {
+			go func() {
+				defer workers.Done()
+				_ = harness.ServeRemoteWorker(ctx, addr, harness.WorkerOptions{Workers: 1})
+			}()
+		}
+	}()
+	docRemote, err := runSuite(context.Background(), remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	workers.Wait()
+
+	if len(docRemote.Backends) != 1 || docRemote.Backends[0].Backend != "remote" {
+		t.Fatalf("fleet stats block missing: %+v", docRemote.Backends)
+	}
+	fleet := docRemote.Backends[0]
+	if fleet.Cells == 0 || fleet.Joins != 2 || len(fleet.Workers) != 2 {
+		t.Errorf("fleet stats implausible: %+v", fleet)
+	}
+	normalizePlacement(&docLocal)
+	normalizePlacement(&docRemote)
+	if !bytes.Equal(docBytes(t, docLocal), docBytes(t, docRemote)) {
+		t.Error("remote-fleet suite output diverges from local")
 	}
 }
 

@@ -132,12 +132,42 @@ func decodeInto[T any](r *CellResult, dst *T) error {
 	return json.Unmarshal(r.Value, dst)
 }
 
+// ErrPermanent marks batch-level errors that are deterministic
+// properties of the cells themselves — a scenario whose decomposition
+// disagrees with the coordinator's, unencodable params — rather than of
+// the transport or the worker that ran them. Routers must not requeue a
+// batch that failed permanently: every backend would fail it the same
+// way, so retrying only multiplies the failure across the fleet.
+// Capability mismatches (a wire backend refusing anonymous cells, a
+// worker missing a scenario registration) are NOT permanent — a
+// differently-capable backend may still execute the batch.
+var ErrPermanent = errors.New("harness: permanent batch failure")
+
+// Permanent wraps err so errors.Is(err, ErrPermanent) reports true while
+// the original error text and chain stay visible.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Is lets errors.Is see the permanence marker without a sentinel chain.
+func (e *permanentError) Is(target error) bool { return target == ErrPermanent }
+
 // Backend executes batches of cells. Run returns one CellResult per spec
 // (any order; Map merges by shard). Per-cell failures are reported inside
 // the results; a non-nil error means the batch as a whole could not be
 // executed (transport failure, dead worker) and is what MultiBackend
-// retries on another backend. If any cell fails, Run may stop early and
-// return results only for the cells it attempted.
+// retries on another backend — unless it is marked Permanent, in which
+// case retrying is pointless and routers fail fast. If any cell fails,
+// Run may stop early and return results only for the cells it attempted.
 type Backend interface {
 	// Name labels the backend in stats and observer cells.
 	Name() string
@@ -153,11 +183,34 @@ type BackendStats struct {
 	Backend string `json:"backend"`
 	// Cells is how many cells the backend completed (including failed).
 	Cells uint64 `json:"cells"`
-	// Retries is how many cells were requeued onto another backend after
-	// this backend failed a batch containing them.
+	// Retries is how many cells were requeued after a failure: onto
+	// another backend when this backend failed a batch (MultiBackend), or
+	// onto another worker of the same fleet (RemoteBackend).
 	Retries uint64 `json:"retries"`
 	// WallMS is the cumulative wall-clock time spent inside Run.
 	WallMS int64 `json:"wall_ms"`
+	// Joins/Leaves count fleet membership changes over the run; only a
+	// RemoteBackend, whose workers come and go, reports them.
+	Joins  uint64 `json:"joins,omitempty"`
+	Leaves uint64 `json:"leaves,omitempty"`
+	// Workers itemizes a RemoteBackend's fleet, one entry per worker that
+	// ever joined (in join order, departed workers included).
+	Workers []WorkerStats `json:"workers,omitempty"`
+}
+
+// WorkerStats is one fleet worker's accounting inside BackendStats.
+type WorkerStats struct {
+	// Worker is the worker's self-reported name suffixed with its join
+	// index, unique within the fleet.
+	Worker string `json:"worker"`
+	// Cells is how many of this worker's cell results were accepted.
+	Cells uint64 `json:"cells"`
+	// Steals counts speculative chunk re-executions by this worker that
+	// beat the original straggler to at least one cell.
+	Steals uint64 `json:"steals,omitempty"`
+	// Speculative counts cells this worker executed whose results were
+	// discarded because another copy had already been accepted.
+	Speculative uint64 `json:"speculative,omitempty"`
 }
 
 // StatsReporter is implemented by backends that track BackendStats;
@@ -326,8 +379,9 @@ type WeightedBackend struct {
 
 // MultiBackend fans batches out across several backends by weighted
 // round-robin, requeueing a chunk onto the next backend when one fails
-// it. Results merge back into shard order, so output is bit-identical
-// regardless of which backend ran which cell.
+// it at the transport level (Permanent failures propagate immediately
+// instead — see ErrPermanent). Results merge back into shard order, so
+// output is bit-identical regardless of which backend ran which cell.
 type MultiBackend struct {
 	entries []WeightedBackend
 	ring    []int // entry indices expanded by weight
@@ -457,6 +511,12 @@ func (m *MultiBackend) Run(ctx context.Context, specs []CellSpec) ([]CellResult,
 					return
 				}
 				lastErr = fmt.Errorf("backend %s: %w", m.entries[idx].Backend.Name(), err)
+				if errors.Is(err, ErrPermanent) {
+					// A deterministic cell/scenario failure would repeat
+					// identically on every backend: propagate immediately
+					// instead of retrying it across the whole ring.
+					break
+				}
 				// Requeue: charge the failed backend for every cell that
 				// now has to run elsewhere.
 				m.retries[idx].Add(uint64(len(c.specs)))

@@ -19,14 +19,20 @@
 //
 // # Backends
 //
-// Three Backend implementations ship with the package:
+// Four Backend implementations ship with the package:
 //
 //   - LocalBackend: the in-process goroutine pool (the default).
 //   - ExecBackend: subprocess workers (`stbpu-suite -worker`) fed
 //     CellSpec batches as length-prefixed JSON frames over stdio — the
 //     building block for multi-machine runs via ssh or a job runner.
+//   - RemoteBackend: the same frames over TCP to an elastic fleet —
+//     workers (`stbpu-suite -worker -connect host:port`) join and leave
+//     at will; the coordinator heartbeats them, requeues chunks from
+//     dead workers, and speculatively re-executes stragglers'
+//     cells (first result wins, duplicates discarded by address).
 //   - MultiBackend: weighted round-robin across child backends with
-//     requeue on transport failure.
+//     requeue on transport failure; batch failures marked Permanent
+//     (deterministic scenario bugs) propagate instead of retrying.
 //
 // Cells are addressable across processes as (scenario, params, scope,
 // shard, rootSeed), so a worker holding the same binary re-derives any

@@ -48,10 +48,13 @@ type workerRequest struct {
 
 // workerResponse is one worker → coordinator frame. Err reports a
 // batch-level failure (unknown scenario, params mismatch); per-cell
-// failures travel inside Results.
+// failures travel inside Results. Permanent marks Err as a
+// deterministic failure of the batch itself (see ErrPermanent), which
+// the coordinator must not requeue onto another backend.
 type workerResponse struct {
-	Results []CellResult `json:"results,omitempty"`
-	Err     string       `json:"err,omitempty"`
+	Results   []CellResult `json:"results,omitempty"`
+	Err       string       `json:"err,omitempty"`
+	Permanent bool         `json:"permanent,omitempty"`
 }
 
 // writeFrame emits a 4-byte big-endian length followed by the JSON
@@ -114,6 +117,11 @@ type ExecBackend struct {
 	Env []string
 	// Workers is the subprocess count (<= 0 means 1).
 	Workers int
+	// BatchTimeout bounds one batch round-trip. A worker that exceeds it
+	// is presumed hung — not dead, so no pipe error would ever surface —
+	// and is killed, failing the batch with its stderr post-mortem so a
+	// router can requeue the chunk. <= 0 means no deadline.
+	BatchTimeout time.Duration
 
 	mu     sync.Mutex
 	procs  []*execWorker
@@ -173,7 +181,7 @@ func (b *ExecBackend) ensureStarted() ([]*execWorker, error) {
 		if b.procs[i] != nil && !b.procs[i].dead.Load() {
 			continue
 		}
-		w, err := startExecWorker(i, argv, b.Env)
+		w, err := startExecWorker(i, argv, b.Env, b.BatchTimeout)
 		if err != nil {
 			return nil, fmt.Errorf("spawn worker %d: %w", i, err)
 		}
@@ -296,11 +304,12 @@ func (b *ExecBackend) Close() error {
 // handles one round-trip at a time (guarded by mu), so frames never
 // interleave even when Run is called concurrently.
 type execWorker struct {
-	id     int
-	cmd    *exec.Cmd
-	in     io.WriteCloser
-	out    *bufio.Reader
-	stderr *tailBuffer
+	id      int
+	cmd     *exec.Cmd
+	in      io.WriteCloser
+	out     *bufio.Reader
+	stderr  *tailBuffer
+	timeout time.Duration // per-batch deadline; 0 = none
 
 	mu       sync.Mutex
 	dead     atomic.Bool
@@ -309,7 +318,7 @@ type execWorker struct {
 	waitRes  error
 }
 
-func startExecWorker(id int, argv, env []string) (*execWorker, error) {
+func startExecWorker(id int, argv, env []string, timeout time.Duration) (*execWorker, error) {
 	cmd := exec.Command(argv[0], argv[1:]...)
 	if len(env) > 0 {
 		cmd.Env = append(os.Environ(), env...)
@@ -327,7 +336,7 @@ func startExecWorker(id int, argv, env []string) (*execWorker, error) {
 	if err := cmd.Start(); err != nil {
 		return nil, err
 	}
-	return &execWorker{id: id, cmd: cmd, in: in, out: bufio.NewReader(out), stderr: tail}, nil
+	return &execWorker{id: id, cmd: cmd, in: in, out: bufio.NewReader(out), stderr: tail, timeout: timeout}, nil
 }
 
 // roundTrip sends one batch and waits for its response. Any transport
@@ -354,6 +363,16 @@ func (w *execWorker) roundTrip(ctx context.Context, chunk []CellSpec) ([]CellRes
 		done <- o
 	}()
 
+	// A hung worker never errors the pipe, so the context and the batch
+	// deadline are the only ways out of this select. The deadline kills
+	// the worker (surfacing its stderr) and fails the batch so a router
+	// can requeue the chunk on a healthy backend.
+	var deadline <-chan time.Time
+	if w.timeout > 0 {
+		t := time.NewTimer(w.timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
 	var o outcome
 	select {
 	case o = <-done:
@@ -361,12 +380,23 @@ func (w *execWorker) roundTrip(ctx context.Context, chunk []CellSpec) ([]CellRes
 		w.fail() // unblocks the writer/reader goroutine
 		<-done
 		return nil, ctx.Err()
+	case <-deadline:
+		postmortem := w.fail() // kills the worker, unblocking the goroutine
+		<-done
+		return nil, fmt.Errorf("exec worker %d: batch of %d cells exceeded the %v batch timeout: %s",
+			w.id, len(chunk), w.timeout, postmortem)
 	}
 	if o.err != nil {
 		return nil, fmt.Errorf("exec worker %d: protocol failed (%v): %s", w.id, o.err, w.fail())
 	}
 	if o.resp.Err != "" {
-		return nil, fmt.Errorf("exec worker %d: %s", w.id, o.resp.Err)
+		err := fmt.Errorf("exec worker %d: %s", w.id, o.resp.Err)
+		if o.resp.Permanent {
+			// The worker is alive and the protocol intact: the batch
+			// itself is broken, identically so everywhere.
+			err = Permanent(err)
+		}
+		return nil, err
 	}
 	return o.resp.Results, nil
 }
@@ -470,11 +500,9 @@ type WorkerOptions struct {
 func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, opts WorkerOptions) error {
 	br := bufio.NewReader(r)
 	bw := bufio.NewWriter(w)
-	store := tracestore.New(opts.CacheBytes, nil)
-	if opts.TraceDir != "" {
-		if err := store.SetDir(opts.TraceDir); err != nil {
-			return fmt.Errorf("worker: trace dir %s: %w", opts.TraceDir, err)
-		}
+	store, err := newWorkerStore(opts)
+	if err != nil {
+		return err
 	}
 	for {
 		var req workerRequest
@@ -488,6 +516,7 @@ func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, opts WorkerOptio
 		results, err := ExecuteCells(ctx, req.Cells, opts.Workers, store)
 		if err != nil {
 			resp.Err = err.Error()
+			resp.Permanent = errors.Is(err, ErrPermanent)
 		} else {
 			resp.Results = results
 		}
@@ -498,6 +527,18 @@ func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, opts WorkerOptio
 			return fmt.Errorf("worker: flush response: %w", err)
 		}
 	}
+}
+
+// newWorkerStore builds the process-local trace store a worker executes
+// cells against, wiring the persistent disk tier when configured.
+func newWorkerStore(opts WorkerOptions) (*tracestore.Store, error) {
+	store := tracestore.New(opts.CacheBytes, nil)
+	if opts.TraceDir != "" {
+		if err := store.SetDir(opts.TraceDir); err != nil {
+			return nil, fmt.Errorf("worker: trace dir %s: %w", opts.TraceDir, err)
+		}
+	}
+	return store, nil
 }
 
 // errCellsCaptured aborts a scenario Run once the capture backend has
@@ -518,7 +559,9 @@ func ExecuteCells(ctx context.Context, specs []CellSpec, workers int, store *tra
 	keyOf := func(s CellSpec) (groupKey, error) {
 		pj, err := CanonicalParams(s.Params)
 		if err != nil {
-			return groupKey{}, err
+			// Unencodable params are a property of the spec, not of this
+			// worker: every backend would fail the batch identically.
+			return groupKey{}, Permanent(err)
 		}
 		return groupKey{scenario: s.Scenario, scope: s.Scope, params: pj, root: s.RootSeed}, nil
 	}
@@ -573,10 +616,17 @@ func captureScenarioCells(ctx context.Context, scen Scenario, group []CellSpec, 
 	_, err := scen.Run(ctx, params, pool)
 	pool.endScenario()
 	if !cap.captured {
+		// Both shapes are deterministic scenario bugs — the decomposition
+		// itself is broken for these params, on any backend — so they are
+		// marked Permanent: requeueing the batch elsewhere would only
+		// repeat the failure across the whole fleet.
 		if err != nil {
-			return nil, fmt.Errorf("scenario %s failed before reaching scope %q: %w", scen.Name, scope, err)
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			return nil, Permanent(fmt.Errorf("scenario %s failed before reaching scope %q: %w", scen.Name, scope, err))
 		}
-		return nil, fmt.Errorf("scenario %s never mapped scope %q (params mismatch?)", scen.Name, scope)
+		return nil, Permanent(fmt.Errorf("scenario %s never mapped scope %q (params mismatch?)", scen.Name, scope))
 	}
 	if len(cap.results) != len(want) {
 		// A canceled context also stops the batch early — report the
@@ -595,8 +645,8 @@ func captureScenarioCells(ctx context.Context, scen Scenario, group []CellSpec, 
 			}
 		}
 		if !failed {
-			return nil, fmt.Errorf("scenario %s scope %q produced %d of %d requested cells (cell space mismatch)",
-				scen.Name, scope, len(cap.results), len(want))
+			return nil, Permanent(fmt.Errorf("scenario %s scope %q produced %d of %d requested cells (cell space mismatch)",
+				scen.Name, scope, len(cap.results), len(want)))
 		}
 	}
 	return cap.results, nil

@@ -105,6 +105,18 @@ func TestMain(m *testing.M) {
 		_ = readFrame(os.Stdin, &req)
 		fmt.Fprintln(os.Stderr, "worker going down for the kill test")
 		os.Exit(3)
+	case "wedge":
+		// Simulate a hung (not dead) worker: swallow one request, then
+		// block forever — the shape only a batch timeout can unstick.
+		var req workerRequest
+		_ = readFrame(os.Stdin, &req)
+		fmt.Fprintln(os.Stderr, "worker wedged and will never answer")
+		select {}
+	case "remote-wedge":
+		// A network worker for the kill -9 chaos test: join the fleet,
+		// accept one chunk, announce it on stdout, then hang (still
+		// heartbeating) until the test delivers SIGKILL.
+		remoteWedgeWorkerMain()
 	case "flaky":
 		// Serve two batches correctly, then die mid-protocol — yields
 		// exec Runs that partially succeeded before failing, the shape
@@ -231,6 +243,82 @@ func TestExecBackendKilledWorkerSurfacesRootCause(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("killed worker hung the run instead of failing")
+	}
+}
+
+// TestExecBackendBatchTimeoutKillsWedgedWorker: a worker that hangs
+// (rather than exits) used to stall the run forever; the batch timeout
+// must kill it, surface the stderr post-mortem, and fail the batch
+// promptly so a router can requeue it.
+func TestExecBackendBatchTimeoutKillsWedgedWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocess workers")
+	}
+	pool := NewPool(2, 9)
+	backend := newTestExecBackend(t, 1, "wedge")
+	backend.BatchTimeout = 500 * time.Millisecond
+	pool.SetBackend(backend)
+
+	type outcome struct {
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		_, err := RunAll(context.Background(), pool, Options{Filters: []string{"_exec-wire"}})
+		done <- outcome{err}
+	}()
+	select {
+	case o := <-done:
+		if o.err == nil {
+			t.Fatal("a wedged worker produced no error")
+		}
+		msg := o.err.Error()
+		if !strings.Contains(msg, "batch timeout") || !strings.Contains(msg, "wedged and will never answer") {
+			t.Errorf("error lacks the timeout diagnosis + stderr post-mortem: %v", o.err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("wedged worker hung the run despite the batch timeout")
+	}
+}
+
+// TestExecBatchTimeoutRequeuesOntoMulti: when the timed-out exec batch
+// sits under a MultiBackend, the chunk must requeue onto the healthy
+// backend and leave results byte-identical to a pure local run.
+func TestExecBatchTimeoutRequeuesOntoMulti(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocess workers")
+	}
+	local := runWire(t, NewPool(2, 642))
+
+	wedged := newTestExecBackend(t, 1, "wedge")
+	wedged.BatchTimeout = 500 * time.Millisecond
+	multi := NewMultiBackend(
+		WeightedBackend{Backend: wedged, Weight: 1},
+		WeightedBackend{Backend: NewLocalBackend(2), Weight: 1},
+	)
+	pool := NewPool(2, 642)
+	pool.SetBackend(multi)
+	mixed := runWire(t, pool)
+
+	a, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("timeout-requeued run diverges from local:\nlocal: %s\nmixed: %s", a, b)
+	}
+	retried := false
+	for _, st := range multi.BackendStats() {
+		if st.Retries > 0 {
+			retried = true
+		}
+	}
+	if !retried {
+		t.Error("no retries recorded; the wedged backend's chunk was never requeued")
 	}
 }
 

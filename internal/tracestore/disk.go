@@ -103,9 +103,15 @@ func (s *Store) loadDisk(k Key) (*trace.Columns, bool) {
 	return cols, true
 }
 
-// spill writes the columns to the tier atomically. Failures are
-// best-effort by design — the trace is already resident, so a full
-// disk or read-only directory costs only the persistence, not the run.
+// spill writes the columns to the tier atomically and durably.
+// Failures are best-effort by design — the trace is already resident,
+// so a full disk or read-only directory costs only the persistence, not
+// the run. Durability is not optional, though: the rename is only
+// atomic against concurrent readers, not against power loss, so the
+// file is fsynced before the rename (otherwise a crash can publish a
+// zero-length or torn STBT under the final name) and the directory is
+// fsynced after it (otherwise the rename itself may not survive, and a
+// later run pays to re-validate a file that silently reverted).
 func (s *Store) spill(k Key, cols *trace.Columns) {
 	dir := s.diskDir()
 	tmp, err := os.CreateTemp(dir, ".spill-*")
@@ -114,6 +120,12 @@ func (s *Store) spill(k Key, cols *trace.Columns) {
 		return
 	}
 	if err := trace.WriteColumns(tmp, cols); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		s.noteDiskError()
+		return
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		s.noteDiskError()
@@ -129,9 +141,25 @@ func (s *Store) spill(k Key, cols *trace.Columns) {
 		s.noteDiskError()
 		return
 	}
+	if err := syncDir(dir); err != nil {
+		// The file content is durable and the rename visible; only the
+		// rename's durability is in doubt. Count it, keep the file.
+		s.noteDiskError()
+		return
+	}
 	s.mu.Lock()
 	s.diskWrites++
 	s.mu.Unlock()
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 func (s *Store) noteDiskError() {
