@@ -20,6 +20,8 @@
 //	stbpu-suite -journal run.jsonl          # stream completed cells to a journal
 //	stbpu-suite -journal run.jsonl -resume  # skip cells the journal already holds
 //	stbpu-suite -trace-dir ~/.cache/stbpu   # persist generated traces across runs
+//	stbpu-suite -trace-dir d -trace-mmap    # map spilled traces zero-copy (unix)
+//	stbpu-suite -trace-major=false          # model-major (ungrouped) scheduling
 //
 // With -backend exec the suite spawns `stbpu-suite -worker` subprocesses
 // that execute cell batches received as length-prefixed JSON frames on
@@ -82,7 +84,14 @@ type config struct {
 	// traceDir enables the persistent trace tier: generated traces spill
 	// as STBT files and later runs (and exec workers) decode instead of
 	// regenerating.
-	traceDir    string
+	traceDir string
+	// modelMajor disables trace-major grouped scheduling. Stored inverted
+	// (like harness.Pool) so a zero-value config keeps the default:
+	// trace-major on.
+	modelMajor bool
+	// traceMmap spills traces in the page-aligned STBT v2 layout and maps
+	// them read-only as columns instead of decoding (with -trace-dir).
+	traceMmap   bool
 	backend     string // "local" (default), "exec", "mixed", or "remote"
 	execWorkers int
 	// execTimeout bounds one exec-worker batch; a worker that exceeds it
@@ -130,7 +139,11 @@ func buildBackend(cfg config) (harness.Backend, error) {
 				fmt.Sprintf("-cache-bytes=%d", cfg.cacheBytes)}
 			if cfg.traceDir != "" {
 				cmd = append(cmd, fmt.Sprintf("-trace-dir=%s", cfg.traceDir))
+				if cfg.traceMmap {
+					cmd = append(cmd, "-trace-mmap")
+				}
 			}
+			cmd = append(cmd, fmt.Sprintf("-trace-major=%t", !cfg.modelMajor))
 		}
 		return &harness.ExecBackend{Command: cmd, Env: cfg.workerEnv, Workers: execWorkers, BatchTimeout: cfg.execTimeout}, nil
 	}
@@ -138,7 +151,12 @@ func buildBackend(cfg config) (harness.Backend, error) {
 	case "", "local":
 		return nil, nil
 	case "remote":
-		rb := &harness.RemoteBackend{Addr: cfg.listen, TraceDir: cfg.traceDir}
+		// The welcome frame carries the scheduling and mmap modes so a
+		// fleet joined with bare `-worker -connect` matches the
+		// coordinator's configuration without per-worker flags.
+		traceMajor := !cfg.modelMajor
+		rb := &harness.RemoteBackend{Addr: cfg.listen, TraceDir: cfg.traceDir,
+			TraceMajor: &traceMajor, TraceMmap: &cfg.traceMmap}
 		// Bind eagerly so the operator (and tests, via listenReady) learn
 		// where to point workers before the first batch needs them.
 		addr, err := rb.Start()
@@ -171,7 +189,9 @@ func buildBackend(cfg config) (harness.Backend, error) {
 // runSuite executes the selected scenarios and assembles the document.
 func runSuite(ctx context.Context, cfg config) (suiteDoc, error) {
 	pool := harness.NewPool(cfg.workers, cfg.seed)
+	pool.SetTraceMajor(!cfg.modelMajor)
 	store := tracestore.New(cfg.cacheBytes, nil)
+	store.SetMapped(cfg.traceMmap)
 	if cfg.traceDir != "" {
 		if err := store.SetDir(cfg.traceDir); err != nil {
 			return suiteDoc{}, fmt.Errorf("trace dir %s: %w", cfg.traceDir, err)
@@ -302,6 +322,8 @@ func run() error {
 		quick     = flag.Bool("quick", false, "use the QuickScale test/benchmark sizing")
 		cacheB    = flag.Int64("cache-bytes", tracestore.DefaultMaxBytes, "byte budget for the shared cross-run trace store (<=0 = default budget)")
 		traceDir  = flag.String("trace-dir", "", "persistent trace tier: spill generated traces as STBT files here and decode them on later runs (shared with exec workers)")
+		traceMaj  = flag.Bool("trace-major", true, "group cells that share a trace and replay all their models in one pass over the resident columns (=false for model-major scheduling)")
+		traceMmap = flag.Bool("trace-mmap", false, "with -trace-dir: spill traces in the page-aligned STBT v2 layout and map them read-only instead of decoding (unix only; no-op elsewhere)")
 		backend   = flag.String("backend", "local", "cell execution backend: local, exec (subprocess workers), mixed, or remote (TCP worker fleet)")
 		execW     = flag.Int("exec-workers", 2, "subprocess worker count for -backend exec/mixed")
 		execTO    = flag.Duration("exec-timeout", 10*time.Minute, "kill an exec worker whose batch exceeds this and requeue the chunk (0 = no deadline)")
@@ -323,7 +345,15 @@ func run() error {
 			Workers:    *workers,
 			CacheBytes: *cacheB,
 			TraceDir:   *traceDir,
+			TraceMmap:  *traceMmap,
 		}
+		// Only an explicit -trace-major pins the worker's mode; left
+		// unset, a remote worker adopts the coordinator's welcome value.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "trace-major" {
+				opts.TraceMajor = traceMaj
+			}
+		})
 		if *connect != "" {
 			return harness.ServeRemoteWorker(ctx, *connect, opts)
 		}
@@ -348,6 +378,8 @@ func run() error {
 		workers:     *workers,
 		cacheBytes:  *cacheB,
 		traceDir:    *traceDir,
+		modelMajor:  !*traceMaj,
+		traceMmap:   *traceMmap,
 		backend:     *backend,
 		execWorkers: *execW,
 		execTimeout: *execTO,

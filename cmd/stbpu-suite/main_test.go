@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -245,6 +246,127 @@ func TestExecResumeAllScenarios(t *testing.T) {
 	normalizePlacement(&docResumed)
 	if !bytes.Equal(docBytes(t, docLocal), docBytes(t, docResumed)) {
 		t.Error("exec-resumed all-scenario document diverges from the local run")
+	}
+}
+
+// TestTraceMajorOffMatchesOn pins the scheduling flag's contract: the
+// golden scenario set produces byte-identical documents under grouped
+// trace-major scheduling (the default) and per-cell model-major
+// scheduling, modulo trace-store counters — grouping changes how often
+// the cache is consulted, never what the cells compute.
+func TestTraceMajorOffMatchesOn(t *testing.T) {
+	docOn, err := runSuite(context.Background(), goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := goldenConfig()
+	off.modelMajor = true
+	docOff, err := runSuite(context.Background(), off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalizePlacement(&docOn)
+	normalizePlacement(&docOff)
+	if !bytes.Equal(docBytes(t, docOn), docBytes(t, docOff)) {
+		t.Error("model-major suite output diverges from trace-major")
+	}
+}
+
+// TestMmapTierMatchesDecode pins the zero-copy tier's contract through
+// the whole suite: a cold run that spills STBT v2 files, a warm run
+// that maps them, and a plain-decode run over the same directory must
+// all produce the document an undisked run produces, modulo trace-store
+// counters. The warm run must actually take the mmap path (on Linux,
+// where CI runs) — a silent fallback to decode would pass the byte
+// comparison while voiding the perf claim.
+func TestMmapTierMatchesDecode(t *testing.T) {
+	ref, err := runSuite(context.Background(), goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	mm := goldenConfig()
+	mm.traceDir = dir
+	mm.traceMmap = true
+	cold, err := runSuite(context.Background(), mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := runSuite(context.Background(), mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runtime.GOOS == "linux" {
+		if cold.TraceStore.DiskWrites == 0 {
+			t.Errorf("cold mmap run spilled nothing: %+v", cold.TraceStore)
+		}
+		if warm.TraceStore.MmapHits == 0 || warm.TraceStore.Generations != 0 {
+			t.Errorf("warm run did not map the spilled tier: %+v", warm.TraceStore)
+		}
+	}
+	// Plain decode mode over the same directory: the v2 files must be
+	// readable by the streaming decoder (format interop, not just mmap).
+	dec := goldenConfig()
+	dec.traceDir = dir
+	decoded, err := runSuite(context.Background(), dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalizePlacement(&ref)
+	for name, doc := range map[string]*suiteDoc{"cold": &cold, "warm": &warm, "decoded": &decoded} {
+		normalizePlacement(doc)
+		if !bytes.Equal(docBytes(t, ref), docBytes(t, *doc)) {
+			t.Errorf("%s trace-tier suite output diverges from the undisked run", name)
+		}
+	}
+}
+
+// TestRemoteFleetTraceTierMatchesLocal runs the golden set on a
+// two-worker loopback fleet with the shared mapped trace tier and
+// trace-major scheduling — the full PR-7 configuration — and requires
+// byte identity with the plain local run. Workers join with empty
+// options and adopt the tier/scheduling modes from the welcome frame.
+func TestRemoteFleetTraceTierMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a TCP worker fleet")
+	}
+	docLocal, err := runSuite(context.Background(), goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	remote := goldenConfig()
+	remote.backend = "remote"
+	remote.listen = "127.0.0.1:0"
+	remote.traceDir = t.TempDir()
+	remote.traceMmap = true
+	addrCh := make(chan string, 1)
+	remote.listenReady = func(addr string) { addrCh <- addr }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var workers sync.WaitGroup
+	workers.Add(2)
+	go func() {
+		addr := <-addrCh
+		for i := 0; i < 2; i++ {
+			go func() {
+				defer workers.Done()
+				_ = harness.ServeRemoteWorker(ctx, addr, harness.WorkerOptions{Workers: 1})
+			}()
+		}
+	}()
+	docRemote, err := runSuite(context.Background(), remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	workers.Wait()
+
+	normalizePlacement(&docLocal)
+	normalizePlacement(&docRemote)
+	if !bytes.Equal(docBytes(t, docLocal), docBytes(t, docRemote)) {
+		t.Error("fleet + mapped-tier suite output diverges from local")
 	}
 }
 

@@ -85,19 +85,27 @@ func RunDefenseAccuracyCtx(ctx context.Context, p harness.Params, pool *harness.
 	res := DefenseAccuracyResult{Models: DefenseModels()}
 	cache := pool.Traces()
 	k := len(res.Models)
-	oaes, err := harness.Map(ctx, pool, "defense-accuracy", len(names)*k,
-		func(ctx context.Context, shard int, seed uint64) (float64, error) {
-			w, mi := shard/k, shard%k
-			cols, prof, err := cache.GetColumns(names[w], s.Records)
+	// Trace-major: one pass per workload feeds the whole model lineup.
+	oaes, err := harness.MapTraceMajor(ctx, pool, "defense-accuracy", len(names)*k,
+		func(shard int) int { return shard / k },
+		func(ctx context.Context, shards []int, seeds []uint64) ([]float64, error) {
+			cols, prof, err := cache.GetColumns(names[shards[0]/k], s.Records)
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
-			m := newDefenseModel(mi, prof.SharedTokens, seed)
-			r, err := sim.RunColumnsCtx(ctx, m, cols)
+			models := make([]sim.Model, len(shards))
+			for i, shard := range shards {
+				models[i] = newDefenseModel(shard%k, prof.SharedTokens, seeds[i])
+			}
+			rs, err := sim.RunColumnsMulti(ctx, models, cols)
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
-			return r.OAE(), nil
+			out := make([]float64, len(rs))
+			for i, r := range rs {
+				out[i] = r.OAE()
+			}
+			return out, nil
 		})
 	if err != nil {
 		return DefenseAccuracyResult{}, err

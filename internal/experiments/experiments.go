@@ -95,19 +95,28 @@ func RunFig3Ctx(ctx context.Context, p harness.Params, pool *harness.Pool) (Fig3
 	kinds := sim.Fig3Kinds()
 	cache := pool.Traces()
 	k := len(kinds)
-	oaes, err := harness.Map(ctx, pool, "fig3", len(names)*k,
-		func(ctx context.Context, shard int, seed uint64) (float64, error) {
-			w, ki := shard/k, shard%k
-			cols, prof, err := cache.GetColumns(names[w], s.Records)
+	// Trace-major: all of a workload's model cells (shard/k equal)
+	// replay in one pass over the shared columns.
+	oaes, err := harness.MapTraceMajor(ctx, pool, "fig3", len(names)*k,
+		func(shard int) int { return shard / k },
+		func(ctx context.Context, shards []int, seeds []uint64) ([]float64, error) {
+			cols, prof, err := cache.GetColumns(names[shards[0]/k], s.Records)
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
-			m := sim.New(kinds[ki], sim.Options{SharedTokens: prof.SharedTokens, Seed: seed})
-			res, err := sim.RunColumnsCtx(ctx, m, cols)
+			models := make([]sim.Model, len(shards))
+			for i, shard := range shards {
+				models[i] = sim.New(kinds[shard%k], sim.Options{SharedTokens: prof.SharedTokens, Seed: seeds[i]})
+			}
+			results, err := sim.RunColumnsMulti(ctx, models, cols)
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
-			return res.OAE(), nil
+			out := make([]float64, len(results))
+			for i, res := range results {
+				out[i] = res.OAE()
+			}
+			return out, nil
 		})
 	if err != nil {
 		return Fig3Result{}, err

@@ -85,18 +85,27 @@ func RunITTAGECtx(ctx context.Context, p harness.Params, pool *harness.Pool) (IT
 	names := capList(ittageWorkloads(), s.MaxWorkloads)
 	cache := pool.Traces()
 	const nv = 4
-	cells, err := harness.Map(ctx, pool, "ittage", len(names)*nv,
-		func(ctx context.Context, shard int, seed uint64) (ittageCell, error) {
-			w, v := shard/nv, shard%nv
-			cols, _, err := cache.GetColumns(names[w], s.Records)
+	// Trace-major: the four variants share one pass per workload.
+	cells, err := harness.MapTraceMajor(ctx, pool, "ittage", len(names)*nv,
+		func(shard int) int { return shard / nv },
+		func(ctx context.Context, shards []int, seeds []uint64) ([]ittageCell, error) {
+			cols, _, err := cache.GetColumns(names[shards[0]/nv], s.Records)
 			if err != nil {
-				return ittageCell{}, err
+				return nil, err
 			}
-			res, err := sim.RunColumnsCtx(ctx, newITTAGEVariant(v, seed), cols)
+			models := make([]sim.Model, len(shards))
+			for i, shard := range shards {
+				models[i] = newITTAGEVariant(shard%nv, seeds[i])
+			}
+			rs, err := sim.RunColumnsMulti(ctx, models, cols)
 			if err != nil {
-				return ittageCell{}, err
+				return nil, err
 			}
-			return ittageCell{TargetRate: res.TargetRate(), OAE: res.OAE()}, nil
+			out := make([]ittageCell, len(rs))
+			for i, res := range rs {
+				out[i] = ittageCell{TargetRate: res.TargetRate(), OAE: res.OAE()}
+			}
+			return out, nil
 		})
 	if err != nil {
 		return ITTAGEResult{}, err

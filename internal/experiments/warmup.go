@@ -70,19 +70,28 @@ func RunWarmupCtx(ctx context.Context, p harness.Params, pool *harness.Pool) (Wa
 	kinds := sim.Fig3Kinds()
 	cache := pool.Traces()
 	k := len(kinds)
-	oaes, err := harness.Map(ctx, pool, "warmup", len(lengths)*k,
-		func(ctx context.Context, shard int, seed uint64) (float64, error) {
-			li, ki := shard/k, shard%k
-			cols, prof, err := cache.GetColumns(p.Workload, lengths[li])
+	// Trace-major: cells group by trace length — each prefix length is
+	// its own resident trace shared by all five models.
+	oaes, err := harness.MapTraceMajor(ctx, pool, "warmup", len(lengths)*k,
+		func(shard int) int { return shard / k },
+		func(ctx context.Context, shards []int, seeds []uint64) ([]float64, error) {
+			cols, prof, err := cache.GetColumns(p.Workload, lengths[shards[0]/k])
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
-			m := sim.New(kinds[ki], sim.Options{SharedTokens: prof.SharedTokens, Seed: seed})
-			r, err := sim.RunColumnsCtx(ctx, m, cols)
+			models := make([]sim.Model, len(shards))
+			for i, shard := range shards {
+				models[i] = sim.New(kinds[shard%k], sim.Options{SharedTokens: prof.SharedTokens, Seed: seeds[i]})
+			}
+			rs, err := sim.RunColumnsMulti(ctx, models, cols)
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
-			return r.OAE(), nil
+			out := make([]float64, len(rs))
+			for i, r := range rs {
+				out[i] = r.OAE()
+			}
+			return out, nil
 		})
 	if err != nil {
 		return WarmupResult{}, err

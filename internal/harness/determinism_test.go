@@ -83,8 +83,10 @@ func TestTraceStoreSharedAcrossScenarioRuns(t *testing.T) {
 	if _, err := experiments.RunFig3Ctx(context.Background(), p, pool); err != nil {
 		t.Fatal(err)
 	}
+	// Under trace-major scheduling the first run consults the store
+	// exactly once per workload group, so it generates without hitting.
 	first := pool.Traces().Stats()
-	if first.Generations == 0 || first.Hits == 0 {
+	if first.Generations == 0 {
 		t.Fatalf("first run stats implausible: %+v", first)
 	}
 	if _, err := experiments.RunFig3Ctx(context.Background(), p, pool); err != nil {

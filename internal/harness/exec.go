@@ -492,6 +492,18 @@ type WorkerOptions struct {
 	// shared persistent tier (tracestore.SetDir): workers decode traces
 	// another process already generated instead of regenerating them.
 	TraceDir string
+	// TraceMajor toggles trace-major grouping in the worker's capture
+	// runs (nil means the default, on). Pure scheduling: results are
+	// bit-identical either way.
+	TraceMajor *bool
+	// TraceMmap switches the worker's disk tier into zero-copy mmap
+	// mode (tracestore.Store.SetMapped). Only meaningful with TraceDir.
+	TraceMmap bool
+}
+
+// traceMajorOn resolves the tri-state flag (nil = default on).
+func (o WorkerOptions) traceMajorOn() bool {
+	return o.TraceMajor == nil || *o.TraceMajor
 }
 
 // ServeWorker runs the worker loop: read a CellSpec batch frame, execute
@@ -513,7 +525,7 @@ func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, opts WorkerOptio
 			return fmt.Errorf("worker: read request: %w", err)
 		}
 		var resp workerResponse
-		results, err := ExecuteCells(ctx, req.Cells, opts.Workers, store)
+		results, err := executeCells(ctx, req.Cells, opts.Workers, store, opts.traceMajorOn())
 		if err != nil {
 			resp.Err = err.Error()
 			resp.Permanent = errors.Is(err, ErrPermanent)
@@ -533,6 +545,7 @@ func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, opts WorkerOptio
 // cells against, wiring the persistent disk tier when configured.
 func newWorkerStore(opts WorkerOptions) (*tracestore.Store, error) {
 	store := tracestore.New(opts.CacheBytes, nil)
+	store.SetMapped(opts.TraceMmap)
 	if opts.TraceDir != "" {
 		if err := store.SetDir(opts.TraceDir); err != nil {
 			return nil, fmt.Errorf("worker: trace dir %s: %w", opts.TraceDir, err)
@@ -552,6 +565,12 @@ var errCellsCaptured = errors.New("harness: requested cells captured")
 // requested shards on a workers-wide local pool. Results come back in
 // wire form, ready to frame.
 func ExecuteCells(ctx context.Context, specs []CellSpec, workers int, store *tracestore.Store) ([]CellResult, error) {
+	return executeCells(ctx, specs, workers, store, true)
+}
+
+// executeCells is ExecuteCells with the capture pools' trace-major flag
+// explicit (workers plumb it from WorkerOptions).
+func executeCells(ctx context.Context, specs []CellSpec, workers int, store *tracestore.Store, traceMajor bool) ([]CellResult, error) {
 	type groupKey struct {
 		scenario, scope, params string
 		root                    uint64
@@ -588,7 +607,7 @@ func ExecuteCells(ctx context.Context, specs []CellSpec, workers int, store *tra
 		if !ok {
 			return nil, fmt.Errorf("scenario %q is not registered in this worker", k.scenario)
 		}
-		results, err := captureScenarioCells(ctx, scen, group, workers, store)
+		results, err := captureScenarioCells(ctx, scen, group, workers, store, traceMajor)
 		if err != nil {
 			return nil, err
 		}
@@ -599,7 +618,7 @@ func ExecuteCells(ctx context.Context, specs []CellSpec, workers int, store *tra
 
 // captureScenarioCells re-runs one scenario's decomposition and captures
 // the requested shards of the requested scope.
-func captureScenarioCells(ctx context.Context, scen Scenario, group []CellSpec, workers int, store *tracestore.Store) ([]CellResult, error) {
+func captureScenarioCells(ctx context.Context, scen Scenario, group []CellSpec, workers int, store *tracestore.Store, traceMajor bool) ([]CellResult, error) {
 	scope := group[0].Scope
 	params := group[0].Params
 	want := make(map[int]bool, len(group))
@@ -608,12 +627,14 @@ func captureScenarioCells(ctx context.Context, scen Scenario, group []CellSpec, 
 	}
 	cap := &captureBackend{scope: scope, want: want, inner: NewLocalBackend(workers)}
 	pool := NewPool(workers, group[0].RootSeed)
+	pool.SetTraceMajor(traceMajor)
 	if store != nil {
 		pool.SetTraceStore(store)
 	}
 	pool.SetBackend(cap)
-	pool.beginScenario(scen.Name, params)
-	_, err := scen.Run(ctx, params, pool)
+	// Let the scenario's own MapTraceMajor call group only the shards
+	// this batch asked for (pure scheduling; see traceMajorWantKey).
+	_, err := scen.Run(withTraceMajorWant(ctx, scope, want), params, pool)
 	pool.endScenario()
 	if !cap.captured {
 		// Both shapes are deterministic scenario bugs — the decomposition

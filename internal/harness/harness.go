@@ -134,6 +134,9 @@ type Pool struct {
 	// CellSpec so wire backends can address cells by name.
 	scenario       string
 	scenarioParams Params
+	// modelMajor disables trace-major grouping (see SetTraceMajor;
+	// stored inverted so the zero-value pool defaults to trace-major).
+	modelMajor bool
 
 	cells atomic.Uint64
 }

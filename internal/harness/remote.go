@@ -69,6 +69,13 @@ type remoteWelcome struct {
 	// tier; a worker without its own -trace-dir adopts it, so trace
 	// generation is a one-time cost per machine sharing the directory.
 	TraceDir string `json:"trace_dir,omitempty"`
+	// TraceMajor and TraceMmap, when present, carry the coordinator's
+	// scheduling and mmap-tier settings; a worker that got no explicit
+	// local setting adopts them. Absent (nil — older coordinators) the
+	// worker keeps its own defaults; either way results are identical,
+	// only execution shape differs.
+	TraceMajor *bool `json:"trace_major,omitempty"`
+	TraceMmap  *bool `json:"trace_mmap,omitempty"`
 }
 
 // remoteWork is one coordinator → worker frame after the handshake.
@@ -98,6 +105,10 @@ type RemoteBackend struct {
 	// TraceDir is forwarded to joining workers that have no trace tier
 	// of their own (see remoteWelcome.TraceDir).
 	TraceDir string
+	// TraceMajor and TraceMmap are forwarded to joining workers (see
+	// remoteWelcome); nil leaves each worker's local setting in place.
+	TraceMajor *bool
+	TraceMmap  *bool
 	// HeartbeatTimeout declares a worker dead after this much silence
 	// (<= 0 means 5s). Workers heartbeat at a quarter of it.
 	HeartbeatTimeout time.Duration
@@ -281,6 +292,8 @@ func (b *RemoteBackend) admit(conn net.Conn) {
 		Proto:       remoteProtoVersion,
 		HeartbeatMS: heartbeatInterval(b.heartbeatTimeout()).Milliseconds(),
 		TraceDir:    b.TraceDir,
+		TraceMajor:  b.TraceMajor,
+		TraceMmap:   b.TraceMmap,
 	}
 	if err := writeFrame(conn, welcome); err != nil {
 		conn.Close()
@@ -831,6 +844,12 @@ func ServeRemoteWorker(ctx context.Context, addr string, opts WorkerOptions) err
 	if opts.TraceDir == "" {
 		opts.TraceDir = welcome.TraceDir
 	}
+	if opts.TraceMajor == nil {
+		opts.TraceMajor = welcome.TraceMajor
+	}
+	if !opts.TraceMmap && welcome.TraceMmap != nil {
+		opts.TraceMmap = *welcome.TraceMmap
+	}
 	store, err := newWorkerStore(opts)
 	if err != nil {
 		return err
@@ -886,7 +905,7 @@ func ServeRemoteWorker(ctx context.Context, addr string, opts WorkerOptions) err
 			return fmt.Errorf("worker: read chunk: %w", err)
 		}
 		reply := remoteReply{Type: "results", Seq: work.Seq}
-		results, err := ExecuteCells(ctx, work.Cells, opts.Workers, store)
+		results, err := executeCells(ctx, work.Cells, opts.Workers, store, opts.traceMajorOn())
 		if err != nil {
 			reply.Err = err.Error()
 			reply.Permanent = errors.Is(err, ErrPermanent)

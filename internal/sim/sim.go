@@ -6,6 +6,8 @@ package sim
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"stbpu/internal/bpu"
 	"stbpu/internal/core"
@@ -180,6 +182,11 @@ func RunColumns(m Model, cols *trace.Columns) Result {
 // step materialized records one at a time. All three paths are
 // bit-identical (pinned by tests).
 func RunColumnsCtx(ctx context.Context, m Model, cols *trace.Columns) (Result, error) {
+	// The columns may be a zero-copy view of an mmap'd STBT spill whose
+	// mapping is released by a finalizer on cols; the packed slices alone
+	// do not keep cols (and thus the mapping) alive, so pin it for the
+	// whole replay.
+	defer runtime.KeepAlive(cols)
 	n := cols.Len()
 	res := Result{Model: m.Name(), Workload: cols.Name, Records: n}
 	if err := ctx.Err(); err != nil {
@@ -236,6 +243,131 @@ func RunColumnsCtx(ctx context.Context, m Model, cols *trace.Columns) (Result, e
 		f.Finalize(&res)
 	}
 	return res, nil
+}
+
+// multiState is one model's private replay state inside RunColumnsMulti:
+// the resolved fast-path interfaces, the per-model scratch buffer for the
+// batched fallback, and the per-model event accumulator. Everything in it
+// is touched by exactly one goroutine per chunk, so models never share
+// mutable state.
+type multiState struct {
+	m        Model
+	cm       ColumnModel
+	bm       BatchModel
+	columnar bool
+	batched  bool
+	scratch  []trace.Record
+	acc      Counters
+}
+
+// step replays rows [start,end) through this model, dispatching exactly
+// like RunColumnsCtx's per-chunk switch.
+func (st *multiState) step(cols *trace.Columns, start, end int) {
+	switch {
+	case st.columnar:
+		st.cm.StepColumns(cols, start, end, &st.acc)
+	case st.batched:
+		st.scratch = cols.AppendRecords(st.scratch[:0], start, end)
+		st.bm.StepBatch(st.scratch, &st.acc)
+	default:
+		for i := start; i < end; i++ {
+			_, ev := st.m.Step(cols.Record(i))
+			st.acc.Note(ev)
+		}
+	}
+}
+
+// RunColumnsMulti replays one resident columnar trace through N models in
+// a single pass — the trace-major twin of RunColumnsCtx. The trace is
+// chunked exactly as RunColumnsCtx chunks it (runCheckInterval records,
+// one cancellation check between chunks), the model-independent
+// context/mode-switch scan runs once per chunk instead of once per model,
+// and then every model steps the chunk concurrently (one goroutine per
+// model, joined before the next chunk) so the hot slice of the packed
+// arrays is read N times while it is still in cache and the models'
+// predictor work overlaps across cores. Per-model state never crosses a
+// goroutine, so results[i] is bit-identical to RunColumnsCtx(ctx,
+// models[i], cols) — the determinism contract the trace-major scheduler
+// relies on, pinned by TestRunColumnsMultiMatchesSequential. A single
+// model delegates to RunColumnsCtx outright.
+func RunColumnsMulti(ctx context.Context, models []Model, cols *trace.Columns) ([]Result, error) {
+	if len(models) == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	if len(models) == 1 {
+		res, err := RunColumnsCtx(ctx, models[0], cols)
+		if err != nil {
+			return nil, err
+		}
+		return []Result{res}, nil
+	}
+	defer runtime.KeepAlive(cols) // see RunColumnsCtx: mmap'd views
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n := cols.Len()
+	results := make([]Result, len(models))
+	states := make([]multiState, len(models))
+	for i, m := range models {
+		results[i] = Result{Model: m.Name(), Workload: cols.Name, Records: n}
+		st := &states[i]
+		st.m = m
+		st.cm, st.columnar = m.(ColumnModel)
+		st.bm, st.batched = m.(BatchModel)
+		if !st.columnar && st.batched {
+			st.scratch = make([]trace.Record, 0, runCheckInterval)
+		}
+	}
+	var ctxSwitches, modeSwitches uint64
+	pids, flags := cols.PIDs, cols.Flags
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += runCheckInterval {
+		if start > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		end := start + runCheckInterval
+		if end > n {
+			end = n
+		}
+		from := start
+		if from == 0 {
+			from = 1
+		}
+		for i := from; i < end; i++ {
+			if pids[i] != pids[i-1] {
+				ctxSwitches++
+			}
+			if (flags[i]^flags[i-1])&trace.FlagKernel != 0 {
+				modeSwitches++
+			}
+		}
+		wg.Add(len(states))
+		for i := range states {
+			go func(st *multiState) {
+				defer wg.Done()
+				st.step(cols, start, end)
+			}(&states[i])
+		}
+		wg.Wait()
+	}
+	for i := range states {
+		st := &states[i]
+		res := &results[i]
+		res.CtxSwitches, res.ModeSwitches = ctxSwitches, modeSwitches
+		res.Mispredicts = st.acc.Mispredicts
+		res.Conds, res.DirCorrect = st.acc.Conds, st.acc.DirCorrect
+		res.TargetKnown, res.TargetCorrect = st.acc.TargetKnown, st.acc.TargetCorrect
+		res.Evictions, res.BTBMisses = st.acc.Evictions, st.acc.BTBMisses
+		if f, ok := st.m.(Finalizer); ok {
+			f.Finalize(res)
+		}
+	}
+	return results, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -46,6 +46,16 @@ var (
 
 const codecVersion = 1
 
+// codecVersionMapped is the mappable layout (see WriteColumnsMapped):
+// the same header fields followed by a section-offset table and the
+// packed column arrays as page-aligned little-endian sections, so an
+// mmap of the whole file yields trace.Columns views with no decode.
+const codecVersionMapped = 2
+
+// maxRecords bounds the record count any decoder will accept, so a
+// corrupt header cannot drive a giant allocation or mapping.
+const maxRecords = 1 << 32
+
 // flagSamePID is the codec-private stream bit: PID/Program bytes are
 // omitted because they repeat the previous record's.
 const flagSamePID byte = 1 << 5
@@ -153,6 +163,9 @@ func ReadColumns(r io.Reader) (*Columns, error) {
 	if err != nil {
 		return nil, err
 	}
+	if version == codecVersionMapped {
+		return readColumnsMapped(br)
+	}
 	if version != codecVersion {
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, version)
 	}
@@ -169,7 +182,6 @@ func ReadColumns(r io.Reader) (*Columns, error) {
 		return nil, err
 	}
 	count := binary.LittleEndian.Uint64(u64[:])
-	const maxRecords = 1 << 32
 	if count > maxRecords {
 		return nil, fmt.Errorf("trace: record count %d exceeds limit", count)
 	}

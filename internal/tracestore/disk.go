@@ -119,7 +119,15 @@ func (s *Store) spill(k Key, cols *trace.Columns) {
 		s.noteDiskError()
 		return
 	}
-	if err := trace.WriteColumns(tmp, cols); err != nil {
+	// Mapped mode spills the page-aligned v2 layout so the next run can
+	// mmap it; otherwise the compact v1 delta stream (~3-4x smaller).
+	// Readers accept both, so mixed-mode runs sharing a directory
+	// interoperate in either direction.
+	write := trace.WriteColumns
+	if s.isMapped() && mmapSupported {
+		write = trace.WriteColumnsMapped
+	}
+	if err := write(tmp, cols); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		s.noteDiskError()

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package tracestore
+
+import "errors"
+
+// mmapSupported gates the zero-copy disk tier; without mmap, mapped
+// mode degrades to the decoding path (mmap_unix.go has the real tier).
+const mmapSupported = false
+
+func mmapFile(path string) ([]byte, error) {
+	return nil, errors.New("tracestore: mmap unsupported on this platform")
+}
+
+func munmapBytes(data []byte) error { return nil }

@@ -1,0 +1,38 @@
+//go:build unix
+
+package tracestore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy disk tier; on platforms without
+// mmap (see mmap_stub.go) mapped mode degrades to the decoding path.
+const mmapSupported = true
+
+// mmapFile maps the whole file read-only. The returned slice is
+// page-aligned (so 8-byte aligned, as trace.MapColumns requires) and
+// stays valid until munmapBytes.
+func mmapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, fmt.Errorf("tracestore: cannot map %d-byte file %s", size, path)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapBytes releases a mapping made by mmapFile.
+func munmapBytes(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -8,6 +8,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"unsafe"
 
 	"stbpu/internal/trace"
@@ -110,7 +111,15 @@ type Stats struct {
 	DiskMisses uint64 `json:"disk_misses,omitempty"`
 	DiskWrites uint64 `json:"disk_writes,omitempty"`
 	DiskErrors uint64 `json:"disk_errors,omitempty"`
+	// MmapHits counts disk hits satisfied zero-copy by mapping a v2
+	// spill (a subset of DiskHits); BytesMapped is the total currently
+	// mmap'd. Both are zero unless mapped mode is on (SetMapped).
+	MmapHits    uint64 `json:"mmap_hits,omitempty"`
+	BytesMapped int64  `json:"bytes_mapped,omitempty"`
 	// Bytes is the current resident size; MaxBytes the configured bound.
+	// Mapped entries charge only their fixed bookkeeping overhead here
+	// (the kernel owns their pages — see SetMapped); their footprint is
+	// BytesMapped.
 	Bytes    int64 `json:"bytes"`
 	MaxBytes int64 `json:"max_bytes"`
 }
@@ -126,15 +135,20 @@ type Store struct {
 	// produce (SetDir enforces it).
 	presetGen bool
 
-	mu      sync.Mutex
-	sizeOf  SizeOf
-	dir     string // disk tier root; "" disables the tier
-	entries map[Key]*entry
-	lru     *list.List // front = most recent; values are *entry
-	bytes   int64
+	mu         sync.Mutex
+	sizeOf     SizeOf
+	dir        string // disk tier root; "" disables the tier
+	mappedMode bool   // zero-copy disk tier (SetMapped)
+	entries    map[Key]*entry
+	lru        *list.List // front = most recent; values are *entry
+	bytes      int64
 
 	hits, misses, generations, evictions         uint64
 	diskHits, diskMisses, diskWrites, diskErrors uint64
+	mmapHits                                     uint64
+	// bytesMapped is atomic, not mu-guarded: mapping releases run from
+	// evictLocked (mu held) and from columns finalizers (no lock).
+	bytesMapped atomic.Int64
 }
 
 // entry is one cached (or in-flight) trace. The sync.Once gives waiters
@@ -152,6 +166,10 @@ type entry struct {
 
 	recOnce sync.Once
 	recs    *trace.Trace
+
+	// mapped is non-nil when cols are zero-copy views of an mmap'd
+	// spill; eviction drops the store's reference to the region.
+	mapped *mapping
 
 	bytes int64
 	elem  *list.Element // LRU position; nil while generating or after eviction
@@ -243,11 +261,14 @@ func (s *Store) entryFor(name string, records int) *entry {
 func (s *Store) fill(e *entry) {
 	name, records := e.key.Name, e.key.Records
 	if s.diskDir() != "" {
-		if cols, ok := s.loadDisk(e.key); ok {
+		if cols, m, ok := s.tryDiskLoad(e.key); ok {
 			if prof, perr := s.profile(name, records); perr == nil {
-				e.cols, e.prof = cols, prof
+				e.cols, e.prof, e.mapped = cols, prof, m
 				s.mu.Lock()
 				s.diskHits++
+				if m != nil {
+					s.mmapHits++
+				}
 				s.mu.Unlock()
 				s.admit(e, false)
 				return
@@ -255,6 +276,9 @@ func (s *Store) fill(e *entry) {
 			// A spill whose profile cannot be re-derived (a foreign file
 			// squatting on a name the preset table does not know) is
 			// useless: fall through, and let generation fail the same way.
+			if m != nil {
+				m.release() // store's reference; the finalizer drops the other
+			}
 			s.mu.Lock()
 			s.diskMisses++
 			s.mu.Unlock()
@@ -289,10 +313,26 @@ func (s *Store) admit(e *entry, generated bool) {
 	if generated {
 		s.generations++
 	}
-	e.bytes = s.sizeOf(e.cols, e.recs)
+	e.bytes = s.chargeLocked(e)
 	s.bytes += e.bytes
 	e.elem = s.lru.PushFront(e)
 	s.evictLocked()
+}
+
+// chargeLocked is the entry's charge against the in-memory budget. A
+// mapped entry's column bytes live in the kernel page cache, already
+// bounded by the files on disk — charging them again here would
+// double-count and evict the cheapest entries first — so it pays only
+// the fixed overhead plus any materialized AoS view (which IS heap).
+func (s *Store) chargeLocked(e *entry) int64 {
+	if e.mapped == nil {
+		return s.sizeOf(e.cols, e.recs)
+	}
+	n := int64(entryOverheadBytes)
+	if e.recs != nil {
+		n += int64(cap(e.recs.Records)) * recordBytes
+	}
+	return n
 }
 
 // recordsOf materializes the entry's AoS view at most once per
@@ -302,7 +342,7 @@ func (s *Store) recordsOf(e *entry) *trace.Trace {
 		e.recs = e.cols.Trace()
 		s.mu.Lock()
 		if e.elem != nil {
-			grown := s.sizeOf(e.cols, e.recs)
+			grown := s.chargeLocked(e)
 			s.bytes += grown - e.bytes
 			e.bytes = grown
 			s.evictLocked()
@@ -327,6 +367,14 @@ func (s *Store) evictLocked() {
 		delete(s.entries, victim.key)
 		s.bytes -= victim.bytes
 		s.evictions++
+		if m := victim.mapped; m != nil {
+			// Drop the store's reference to the mapped region. Readers
+			// still holding the columns keep it alive through the
+			// finalizer reference; the munmap happens only after both
+			// are gone, so eviction never invalidates a view in use.
+			victim.mapped = nil
+			m.release()
+		}
 	}
 }
 
@@ -350,6 +398,8 @@ func (s *Store) Stats() Stats {
 		DiskMisses:  s.diskMisses,
 		DiskWrites:  s.diskWrites,
 		DiskErrors:  s.diskErrors,
+		MmapHits:    s.mmapHits,
+		BytesMapped: s.bytesMapped.Load(),
 		Bytes:       s.bytes,
 		MaxBytes:    s.maxBytes,
 	}

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Perf-trend gate: run the replay-path and predictor micro-benchmarks,
-# write BENCH_5.json (benchmark -> ns/op, allocs/op), and fail when a
+# write BENCH_7.json (benchmark -> ns/op, allocs/op), and fail when a
 # metric regresses against the committed baseline.
 #
 # usage: scripts/bench_gate.sh [-update]
-#   -update    rewrite BENCH_5.json as the new baseline and skip the gate
+#   -update    rewrite BENCH_7.json as the new baseline and skip the gate
 #
 # env knobs:
 #   BENCH_GATE_BENCHTIME        go test -benchtime (default 0.3s)
@@ -28,12 +28,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_5.json
+OUT=BENCH_7.json
 BENCHTIME="${BENCH_GATE_BENCHTIME:-0.3s}"
 COUNT="${BENCH_GATE_COUNT:-3}"
 NS_THR="${BENCH_GATE_NS_THRESHOLD:-0.10}"
 ALLOC_THR="${BENCH_GATE_ALLOC_THRESHOLD:-0}"
-PKGS=(./internal/sim/ ./internal/tage/ ./internal/perceptron/ ./internal/ittage/)
+PKGS=(./internal/sim/ ./internal/tage/ ./internal/perceptron/ ./internal/ittage/ ./internal/tracestore/)
 
 update=0
 if [ "${1:-}" = "-update" ]; then
