@@ -53,6 +53,7 @@ import (
 
 	"stbpu/internal/experiments"
 	"stbpu/internal/harness"
+	"stbpu/internal/trace/spec"
 	"stbpu/internal/tracestore"
 )
 
@@ -103,6 +104,14 @@ type config struct {
 	// once it is accepting workers (tests use it to learn the ephemeral
 	// port before launching workers).
 	listenReady func(addr string)
+	// workloadSpec is a JSON workload-spec file (docs/WORKLOADS.md):
+	// runSuite registers it, points the workloads scenario at it, and
+	// forwards it to exec workers (by path) and remote fleets (by
+	// document, in the welcome frame).
+	workloadSpec string
+	// workloadSpecDoc is the loaded spec's canonical JSON (set by
+	// runSuite for buildBackend's remote welcome frame).
+	workloadSpecDoc string
 	// journal streams completed cells to this JSONL file; with resume
 	// set, cells the file already holds are not re-executed.
 	journal string
@@ -143,6 +152,12 @@ func buildBackend(cfg config) (harness.Backend, error) {
 					cmd = append(cmd, "-trace-mmap")
 				}
 			}
+			if cfg.workloadSpec != "" {
+				// Exec workers share the coordinator's filesystem, so the
+				// spec travels by path; the worker parses and registers it
+				// before serving cells.
+				cmd = append(cmd, fmt.Sprintf("-workload-spec=%s", cfg.workloadSpec))
+			}
 			cmd = append(cmd, fmt.Sprintf("-trace-major=%t", !cfg.modelMajor))
 		}
 		return &harness.ExecBackend{Command: cmd, Env: cfg.workerEnv, Workers: execWorkers, BatchTimeout: cfg.execTimeout}, nil
@@ -157,6 +172,11 @@ func buildBackend(cfg config) (harness.Backend, error) {
 		traceMajor := !cfg.modelMajor
 		rb := &harness.RemoteBackend{Addr: cfg.listen, TraceDir: cfg.traceDir,
 			TraceMajor: &traceMajor, TraceMmap: &cfg.traceMmap}
+		if cfg.workloadSpecDoc != "" {
+			// Remote workers may sit on other machines, so the spec
+			// travels by value in the welcome frame.
+			rb.WorkloadSpecs = []string{cfg.workloadSpecDoc}
+		}
 		// Bind eagerly so the operator (and tests, via listenReady) learn
 		// where to point workers before the first batch needs them.
 		addr, err := rb.Start()
@@ -188,6 +208,21 @@ func buildBackend(cfg config) (harness.Backend, error) {
 
 // runSuite executes the selected scenarios and assembles the document.
 func runSuite(ctx context.Context, cfg config) (suiteDoc, error) {
+	if cfg.workloadSpec != "" {
+		s, err := spec.LoadFile(cfg.workloadSpec)
+		if err != nil {
+			return suiteDoc{}, err
+		}
+		if err := spec.Register(s); err != nil {
+			return suiteDoc{}, err
+		}
+		// The workloads scenario resolves the spec by its registered
+		// (content-hashed) workload name in every process of the run.
+		if cfg.params.WorkloadSpec == "" {
+			cfg.params.WorkloadSpec = s.WorkloadName()
+		}
+		cfg.workloadSpecDoc = string(s.Canonical())
+	}
 	pool := harness.NewPool(cfg.workers, cfg.seed)
 	pool.SetTraceMajor(!cfg.modelMajor)
 	store := tracestore.New(cfg.cacheBytes, nil)
@@ -284,6 +319,10 @@ type scenarioInfo struct {
 	Name        string         `json:"name"`
 	Description string         `json:"description,omitempty"`
 	Defaults    harness.Params `json:"defaults"`
+	// Workloads enumerates the spec workload names registered in this
+	// process (built-in fixtures plus any -workload-spec file). Only the
+	// workloads scenario entry carries it.
+	Workloads []string `json:"workloads,omitempty"`
 }
 
 // writeScenarioListJSON emits the registry as a JSON array in name
@@ -291,7 +330,11 @@ type scenarioInfo struct {
 func writeScenarioListJSON(w io.Writer) error {
 	infos := make([]scenarioInfo, 0)
 	for _, s := range harness.All() {
-		infos = append(infos, scenarioInfo{Name: s.Name, Description: s.Description, Defaults: s.Defaults})
+		info := scenarioInfo{Name: s.Name, Description: s.Description, Defaults: s.Defaults}
+		if s.Name == "workloads" {
+			info.Workloads = spec.Names()
+		}
+		infos = append(infos, info)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -330,6 +373,7 @@ func run() error {
 		listen    = flag.String("listen", "", "-backend remote: TCP address to coordinate workers on (empty = 127.0.0.1:0)")
 		connect   = flag.String("connect", "", "with -worker: dial this coordinator address instead of serving stdin/stdout")
 		worker    = flag.Bool("worker", false, "run as a worker: execute cell batches from stdin, or from the -connect coordinator")
+		specF     = flag.String("workload-spec", "", "JSON workload-spec file (docs/WORKLOADS.md): register it and point the workloads scenario at it; forwarded to exec and remote workers")
 		journalF  = flag.String("journal", "", "stream completed cells to this JSONL run journal (schema: docs/SUITE_JSON.md)")
 		resume    = flag.Bool("resume", false, "load the -journal file first and skip cells it already holds")
 		timing    = flag.Bool("timing", true, "record wall-clock timing (disable for byte-stable output)")
@@ -347,6 +391,13 @@ func run() error {
 			TraceDir:   *traceDir,
 			TraceMmap:  *traceMmap,
 		}
+		if *specF != "" {
+			s, err := spec.LoadFile(*specF)
+			if err != nil {
+				return err
+			}
+			opts.WorkloadSpecs = append(opts.WorkloadSpecs, string(s.Canonical()))
+		}
 		// Only an explicit -trace-major pins the worker's mode; left
 		// unset, a remote worker adopts the coordinator's welcome value.
 		flag.Visit(func(f *flag.Flag) {
@@ -363,6 +414,17 @@ func run() error {
 		return fmt.Errorf("-connect requires -worker")
 	}
 
+	if *specF != "" && (*list || *listJSON) {
+		// Register the user spec so the listings enumerate it alongside
+		// the built-in fixtures.
+		s, err := spec.LoadFile(*specF)
+		if err != nil {
+			return err
+		}
+		if err := spec.Register(s); err != nil {
+			return err
+		}
+	}
 	if *list {
 		for _, s := range harness.All() {
 			fmt.Printf("%-18s %s\n", s.Name, s.Description)
@@ -374,21 +436,22 @@ func run() error {
 	}
 
 	cfg := config{
-		seed:        *seed,
-		workers:     *workers,
-		cacheBytes:  *cacheB,
-		traceDir:    *traceDir,
-		modelMajor:  !*traceMaj,
-		traceMmap:   *traceMmap,
-		backend:     *backend,
-		execWorkers: *execW,
-		execTimeout: *execTO,
-		listen:      *listen,
-		journal:     *journalF,
-		resume:      *resume,
-		timing:      *timing,
-		verbose:     *verbose,
-		stderr:      os.Stderr,
+		seed:         *seed,
+		workers:      *workers,
+		cacheBytes:   *cacheB,
+		traceDir:     *traceDir,
+		modelMajor:   !*traceMaj,
+		traceMmap:    *traceMmap,
+		backend:      *backend,
+		execWorkers:  *execW,
+		execTimeout:  *execTO,
+		listen:       *listen,
+		workloadSpec: *specF,
+		journal:      *journalF,
+		resume:       *resume,
+		timing:       *timing,
+		verbose:      *verbose,
+		stderr:       os.Stderr,
 		params: harness.Params{
 			Records:      *records,
 			MaxWorkloads: *workloads,

@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"stbpu/internal/harness"
+	"stbpu/internal/trace/spec"
 	"stbpu/internal/tracestore"
 )
 
@@ -22,13 +23,26 @@ var update = flag.Bool("update", false, "rewrite the golden files under testdata
 
 const workerEnvVar = "STBPU_SUITE_TEST_WORKER"
 
+// workerSpecEnvVar points the test worker at a workload-spec file, the
+// test-binary analogue of `stbpu-suite -worker -workload-spec FILE`.
+const workerSpecEnvVar = "STBPU_SUITE_TEST_WORKLOAD_SPEC"
+
 // TestMain lets this test binary double as the subprocess worker for the
 // exec-backend tests: with the env var set it serves the frame protocol
 // on stdio — the same harness.ServeWorker loop `stbpu-suite -worker`
 // runs — instead of running tests.
 func TestMain(m *testing.M) {
 	if os.Getenv(workerEnvVar) == "1" {
-		if err := harness.ServeWorker(context.Background(), os.Stdin, os.Stdout, harness.WorkerOptions{Workers: 1}); err != nil {
+		opts := harness.WorkerOptions{Workers: 1}
+		if path := os.Getenv(workerSpecEnvVar); path != "" {
+			s, err := spec.LoadFile(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "worker:", err)
+				os.Exit(1)
+			}
+			opts.WorkloadSpecs = []string{string(s.Canonical())}
+		}
+		if err := harness.ServeWorker(context.Background(), os.Stdin, os.Stdout, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "worker:", err)
 			os.Exit(1)
 		}

@@ -10,6 +10,7 @@
 //	stbpu-trace list                                  # preset names
 //	stbpu-trace gen -preset 505.mcf -n 100000 -o mcf.stbt
 //	stbpu-trace gen -preset 505.mcf -n 100000 -format stpt -o mcf.stpt
+//	stbpu-trace synth -spec burst.json -o burst.stbt  # phased workload spec
 //	stbpu-trace info mcf.stbt                         # composition stats
 //	stbpu-trace convert mcf.stbt mcf.stpt             # format by extension
 //	stbpu-trace convert mcf.stpt mcf.csv
@@ -25,6 +26,7 @@ import (
 
 	"stbpu/internal/pt"
 	"stbpu/internal/trace"
+	"stbpu/internal/trace/spec"
 )
 
 func main() {
@@ -38,6 +40,8 @@ func main() {
 		err = cmdList()
 	case "gen":
 		err = cmdGen(os.Args[2:])
+	case "synth":
+		err = cmdSynth(os.Args[2:])
 	case "info":
 		err = cmdInfo(os.Args[2:])
 	case "convert":
@@ -59,6 +63,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   stbpu-trace list
   stbpu-trace gen -preset NAME -n RECORDS [-format stbt|stpt|csv] -o FILE
+  stbpu-trace synth -spec FILE [-n RECORDS] [-seed N] [-format stbt|stpt|csv] -o FILE
   stbpu-trace info FILE
   stbpu-trace convert SRC DST`)
 }
@@ -105,6 +110,51 @@ func cmdGen(args []string) error {
 	}
 	fmt.Printf("%s: %d records, %d bytes (%.2f bytes/record, %s)\n",
 		*out, len(tr.Records), fi.Size(),
+		float64(fi.Size())/float64(len(tr.Records)), f)
+	return nil
+}
+
+// cmdSynth materializes a phase-structured workload spec
+// (docs/WORKLOADS.md) as a trace file. Generation is a pure function
+// of (spec, seed): the same document and seed produce the same bytes
+// the suite's tracestore would cache for the spec's workload name.
+func cmdSynth(args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+	specF := fs.String("spec", "", "JSON workload-spec file (required)")
+	n := fs.Int("n", 0, "records to generate (0 = the spec's own phase total)")
+	seed := fs.Uint64("seed", 0, "instance seed (0 = the canonical stream the suite caches)")
+	format := fs.String("format", "", "output format: stbt, stpt, or csv (default: by -o extension)")
+	out := fs.String("o", "", "output file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specF == "" {
+		return fmt.Errorf("synth: -spec is required")
+	}
+	if *out == "" {
+		return fmt.Errorf("synth: -o is required")
+	}
+	s, err := spec.LoadFile(*specF)
+	if err != nil {
+		return err
+	}
+	tr, err := s.Generate(*n, *seed)
+	if err != nil {
+		return err
+	}
+	f := *format
+	if f == "" {
+		f = formatByExt(*out)
+	}
+	if err := writeTrace(*out, f, tr); err != nil {
+		return err
+	}
+	fi, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s, %d records, %d bytes (%.2f bytes/record, %s)\n",
+		*out, tr.Name, len(tr.Records), fi.Size(),
 		float64(fi.Size())/float64(len(tr.Records)), f)
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"context"
 
 	"stbpu/internal/harness"
+	"stbpu/internal/trace/spec"
 )
 
 // defaultScaleParams is the historical stbpu-bench default scale.
@@ -105,6 +106,17 @@ func init() {
 		Defaults:    defaultScaleParams(),
 		Run: func(ctx context.Context, p harness.Params, pool *harness.Pool) (any, error) {
 			return RunITTAGECtx(ctx, p, pool)
+		},
+	})
+	// The built-in spec fixtures register before any scenario can run,
+	// so every process of a distributed run resolves the same workload
+	// names (user specs are forwarded separately by the CLIs).
+	spec.RegisterBuiltin()
+	harness.Register(harness.Scenario{
+		Name:        "workloads",
+		Description: "spec-driven phase-structured workloads: per-phase OAE and re-randomization across the model lineup",
+		Run: func(ctx context.Context, p harness.Params, pool *harness.Pool) (any, error) {
+			return RunWorkloadsCtx(ctx, p, pool)
 		},
 	})
 	harness.Register(harness.Scenario{

@@ -53,6 +53,8 @@ func DecodeResult(scenario string, raw json.RawMessage) (results.Tabler, error) 
 		return decodeAs[ITTAGEResult](raw)
 	case "warmup":
 		return decodeAs[WarmupResult](raw)
+	case "workloads":
+		return decodeAs[WorkloadsResult](raw)
 	default:
 		return nil, fmt.Errorf("experiments: no typed decoder for scenario %q", scenario)
 	}

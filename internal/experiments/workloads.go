@@ -1,0 +1,208 @@
+package experiments
+
+// The workloads scenario family evaluates the protection-model lineup
+// on spec-driven phase-structured workloads (internal/trace/spec):
+// per phase, it measures each model's attacker OAE and the number of
+// STBPU re-randomizations the phase triggered. Phase structure is what
+// the flat Fig. 3 traces cannot ask about — how defenses behave when
+// tenant mix, switch cadence, and branch mix shift mid-trace (load
+// ramps, bursts, drift).
+//
+// Every (spec, phase, model) triple is one cell, grouped trace-major
+// by spec so all cells of a spec share one resident trace. A phase
+// cell replays the trace prefix [0, phaseStart) to warm the model
+// exactly as an uninterrupted run would, then measures over
+// [phaseStart, phaseEnd): each cell is a pure function of its address
+// and seed, which keeps grouping, backends, and resume byte-identical.
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"stbpu/internal/harness"
+	"stbpu/internal/results"
+	"stbpu/internal/sim"
+	"stbpu/internal/trace/spec"
+)
+
+// WorkloadPhaseRow is one (spec, phase) measurement across the model
+// lineup.
+type WorkloadPhaseRow struct {
+	Spec    string
+	Phase   string
+	Records int
+	// OAE is the attacker's observation-accuracy equivalent per model,
+	// indexed like Models; Normalized divides by the phase's baseline.
+	OAE        []float64
+	Normalized []float64
+	// Rerands counts STBPU re-randomizations triggered within the
+	// phase (zero for non-STBPU models).
+	Rerands []uint64
+}
+
+// WorkloadsResult is the whole family: phase rows for every selected
+// spec workload.
+type WorkloadsResult struct {
+	Models []string
+	Rows   []WorkloadPhaseRow
+}
+
+// workloadCell is one cell's wire-safe measurement.
+type workloadCell struct {
+	OAE     float64 `json:"oae"`
+	Rerands uint64  `json:"rerands"`
+}
+
+// selectedSpecs resolves the scenario's spec population: the named
+// registered spec when p.WorkloadSpec is set, else the built-in
+// fixtures (capped by MaxWorkloads). The population must be identical
+// in every process of a run — built-ins are registered at package
+// init, and coordinators forward user specs to workers before cells
+// are scheduled.
+func selectedSpecs(p harness.Params) ([]*spec.Spec, error) {
+	if p.WorkloadSpec != "" {
+		s, ok := spec.Lookup(p.WorkloadSpec)
+		if !ok {
+			return nil, fmt.Errorf("experiments: workload spec %q is not registered in this process", p.WorkloadSpec)
+		}
+		return []*spec.Spec{s}, nil
+	}
+	return capList(spec.Builtin(), p.MaxWorkloads), nil
+}
+
+// specRecords returns the record budget for one spec under p.
+func specRecords(p harness.Params, s *spec.Spec) int {
+	if p.Records > 0 {
+		return p.Records
+	}
+	return s.TotalRecords()
+}
+
+// RunWorkloads evaluates the built-in spec fixtures on the default pool.
+func RunWorkloads() (WorkloadsResult, error) {
+	return RunWorkloadsCtx(context.Background(), harness.Params{}, harness.Default())
+}
+
+// RunWorkloadsCtx measures the Fig. 3 model lineup per spec phase,
+// sharding (spec × phase × model) cells grouped trace-major by spec.
+func RunWorkloadsCtx(ctx context.Context, p harness.Params, pool *harness.Pool) (WorkloadsResult, error) {
+	specs, err := selectedSpecs(p)
+	if err != nil {
+		return WorkloadsResult{}, err
+	}
+	kinds := sim.Fig3Kinds()
+	k := len(kinds)
+	type addr struct{ si, pi, ki int }
+	var addrs []addr
+	for si, s := range specs {
+		for pi := range s.Phases {
+			for ki := 0; ki < k; ki++ {
+				addrs = append(addrs, addr{si, pi, ki})
+			}
+		}
+	}
+	cache := pool.Traces()
+	cells, err := harness.MapTraceMajor(ctx, pool, "workloads", len(addrs),
+		func(shard int) int { return addrs[shard].si },
+		func(ctx context.Context, shards []int, seeds []uint64) ([]workloadCell, error) {
+			s := specs[addrs[shards[0]].si]
+			records := specRecords(p, s)
+			cols, prof, err := cache.GetColumns(s.WorkloadName(), records)
+			if err != nil {
+				return nil, err
+			}
+			bounds := s.Boundaries(records)
+			out := make([]workloadCell, len(shards))
+			for i, shard := range shards {
+				a := addrs[shard]
+				lo, hi := bounds[a.pi], bounds[a.pi+1]
+				m := sim.New(kinds[a.ki], sim.Options{SharedTokens: prof.SharedTokens, Seed: seeds[i]})
+				var warm sim.Result
+				if lo > 0 {
+					// Warm the model over the prefix so the phase sees
+					// exactly the predictor state an uninterrupted run
+					// would carry in.
+					warm, err = sim.RunColumnsCtx(ctx, m, cols.Slice(0, lo))
+					if err != nil {
+						return nil, err
+					}
+				}
+				res, err := sim.RunColumnsCtx(ctx, m, cols.Slice(lo, hi))
+				if err != nil {
+					return nil, err
+				}
+				// Finalize counters are cumulative over the model's
+				// life; the phase's own contribution is the delta past
+				// the warmup run.
+				out[i] = workloadCell{
+					OAE:     res.OAE(),
+					Rerands: res.Rerandomizations - warm.Rerandomizations,
+				}
+			}
+			return out, nil
+		})
+	if err != nil {
+		return WorkloadsResult{}, err
+	}
+	res := WorkloadsResult{}
+	for _, kind := range kinds {
+		res.Models = append(res.Models, kind.String())
+	}
+	idx := 0
+	for _, s := range specs {
+		records := specRecords(p, s)
+		bounds := s.Boundaries(records)
+		for pi := range s.Phases {
+			row := WorkloadPhaseRow{
+				Spec:       s.WorkloadName(),
+				Phase:      s.Phases[pi].Name,
+				Records:    bounds[pi+1] - bounds[pi],
+				OAE:        make([]float64, k),
+				Normalized: make([]float64, k),
+				Rerands:    make([]uint64, k),
+			}
+			for ki := 0; ki < k; ki++ {
+				row.OAE[ki] = cells[idx].OAE
+				row.Rerands[ki] = cells[idx].Rerands
+				idx++
+			}
+			if base := row.OAE[0]; base > 0 {
+				for ki := 0; ki < k; ki++ {
+					row.Normalized[ki] = row.OAE[ki] / base
+				}
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Render writes the family as text tables (shared renderer:
+// results.Grid).
+func (r WorkloadsResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "spec-driven phase workloads (normalized OAE / rerands per phase)\n")
+	g := results.Grid{LabelWidth: 30}
+	g.Row(w, "spec/phase", results.Cells("%18s", r.Models...)...)
+	for _, row := range r.Rows {
+		label := row.Spec + "/" + row.Phase
+		if len(label) > 30 {
+			label = label[len(label)-30:]
+		}
+		g.Row(w, label, results.Cells("%18.4f", row.Normalized...)...)
+	}
+}
+
+// Table implements results.Tabler.
+func (r WorkloadsResult) Table() results.Table {
+	var t results.Table
+	for _, row := range r.Rows {
+		for i, m := range r.Models {
+			cell := results.Labels("spec", row.Spec, "phase", row.Phase, "model", m)
+			t.Add(cell, "oae", row.OAE[i])
+			t.Add(cell, "norm_oae", row.Normalized[i])
+			t.AddUnit(cell, "rerands", "count", float64(row.Rerands[i]))
+		}
+	}
+	return t
+}

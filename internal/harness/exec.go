@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"stbpu/internal/trace/spec"
 	"stbpu/internal/tracestore"
 )
 
@@ -499,6 +500,26 @@ type WorkerOptions struct {
 	// TraceMmap switches the worker's disk tier into zero-copy mmap
 	// mode (tracestore.Store.SetMapped). Only meaningful with TraceDir.
 	TraceMmap bool
+	// WorkloadSpecs holds raw JSON workload-spec documents
+	// (internal/trace/spec) to register before serving cells, so the
+	// worker resolves the same spec workload names the coordinator
+	// schedules. Content-hashed names make registration idempotent.
+	WorkloadSpecs []string
+}
+
+// registerWorkloadSpecs parses and registers raw spec documents a
+// worker received via flags or the coordinator's welcome frame.
+func registerWorkloadSpecs(docs []string) error {
+	for _, doc := range docs {
+		s, err := spec.Parse([]byte(doc))
+		if err != nil {
+			return fmt.Errorf("worker: workload spec: %w", err)
+		}
+		if err := spec.Register(s); err != nil {
+			return fmt.Errorf("worker: workload spec %q: %w", s.Name, err)
+		}
+	}
+	return nil
 }
 
 // traceMajorOn resolves the tri-state flag (nil = default on).
@@ -512,6 +533,9 @@ func (o WorkerOptions) traceMajorOn() bool {
 func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, opts WorkerOptions) error {
 	br := bufio.NewReader(r)
 	bw := bufio.NewWriter(w)
+	if err := registerWorkloadSpecs(opts.WorkloadSpecs); err != nil {
+		return err
+	}
 	store, err := newWorkerStore(opts)
 	if err != nil {
 		return err

@@ -39,6 +39,10 @@ type Params struct {
 	Sweep []float64 `json:"sweep,omitempty"`
 	// Workload names a single-workload scenario's trace preset.
 	Workload string `json:"workload,omitempty"`
+	// WorkloadSpec names a registered spec-driven workload
+	// ("spec:<name>@<hash>") for the workloads scenario family; empty
+	// runs the built-in spec fixtures.
+	WorkloadSpec string `json:"workload_spec,omitempty"`
 }
 
 // Merged fills p's zero fields from def and returns the result.
@@ -69,6 +73,9 @@ func (p Params) Merged(def Params) Params {
 	}
 	if p.Workload == "" {
 		p.Workload = def.Workload
+	}
+	if p.WorkloadSpec == "" {
+		p.WorkloadSpec = def.WorkloadSpec
 	}
 	return p
 }

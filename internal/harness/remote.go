@@ -76,6 +76,11 @@ type remoteWelcome struct {
 	// only execution shape differs.
 	TraceMajor *bool `json:"trace_major,omitempty"`
 	TraceMmap  *bool `json:"trace_mmap,omitempty"`
+	// WorkloadSpecs carries the coordinator's raw JSON workload-spec
+	// documents; a joining worker registers them before serving cells,
+	// so a bare `-worker -connect` fleet resolves the same spec
+	// workload names the coordinator schedules.
+	WorkloadSpecs []string `json:"workload_specs,omitempty"`
 }
 
 // remoteWork is one coordinator → worker frame after the handshake.
@@ -109,6 +114,10 @@ type RemoteBackend struct {
 	// remoteWelcome); nil leaves each worker's local setting in place.
 	TraceMajor *bool
 	TraceMmap  *bool
+	// WorkloadSpecs holds raw JSON workload-spec documents forwarded to
+	// every joining worker via the welcome frame (see
+	// remoteWelcome.WorkloadSpecs).
+	WorkloadSpecs []string
 	// HeartbeatTimeout declares a worker dead after this much silence
 	// (<= 0 means 5s). Workers heartbeat at a quarter of it.
 	HeartbeatTimeout time.Duration
@@ -289,11 +298,12 @@ func (b *RemoteBackend) admit(conn net.Conn) {
 		return
 	}
 	welcome := remoteWelcome{
-		Proto:       remoteProtoVersion,
-		HeartbeatMS: heartbeatInterval(b.heartbeatTimeout()).Milliseconds(),
-		TraceDir:    b.TraceDir,
-		TraceMajor:  b.TraceMajor,
-		TraceMmap:   b.TraceMmap,
+		Proto:         remoteProtoVersion,
+		HeartbeatMS:   heartbeatInterval(b.heartbeatTimeout()).Milliseconds(),
+		TraceDir:      b.TraceDir,
+		TraceMajor:    b.TraceMajor,
+		TraceMmap:     b.TraceMmap,
+		WorkloadSpecs: b.WorkloadSpecs,
 	}
 	if err := writeFrame(conn, welcome); err != nil {
 		conn.Close()
@@ -849,6 +859,12 @@ func ServeRemoteWorker(ctx context.Context, addr string, opts WorkerOptions) err
 	}
 	if !opts.TraceMmap && welcome.TraceMmap != nil {
 		opts.TraceMmap = *welcome.TraceMmap
+	}
+	// Coordinator-forwarded specs compose with any the worker loaded
+	// locally; content-hashed names make double registration harmless.
+	opts.WorkloadSpecs = append(opts.WorkloadSpecs, welcome.WorkloadSpecs...)
+	if err := registerWorkloadSpecs(opts.WorkloadSpecs); err != nil {
+		return err
 	}
 	store, err := newWorkerStore(opts)
 	if err != nil {

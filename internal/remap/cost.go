@@ -105,17 +105,17 @@ func (m CostModel) Estimate(c *Circuit) Cost {
 			path, breadth, total := 0, 0, 0
 			for _, b := range l.Boxes {
 				if b.Width >= 4 {
-					path = maxInt(path, m.SBox4Path)
+					path = max(path, m.SBox4Path)
 					breadth += m.SBox4Total
 					total += m.SBox4Total
 				} else {
-					path = maxInt(path, m.SBox3Path)
+					path = max(path, m.SBox3Path)
 					breadth += m.SBox3Total
 					total += m.SBox3Total
 				}
 			}
 			cost.CriticalPath += path
-			cost.Breadth = maxInt(cost.Breadth, breadth)
+			cost.Breadth = max(cost.Breadth, breadth)
 			cost.Total += total
 		case LayerPerm:
 			// Wires only. Crossover estimate: displacement of each wire.
@@ -125,14 +125,14 @@ func (m CostModel) Estimate(c *Circuit) Cost {
 				if d < 0 {
 					d = -d
 				}
-				maxCross = maxInt(maxCross, d*m.CrossoverUnit)
+				maxCross = max(maxCross, d*m.CrossoverUnit)
 			}
-			cost.MaxCrossover = maxInt(cost.MaxCrossover, maxCross)
+			cost.MaxCrossover = max(cost.MaxCrossover, maxCross)
 		case LayerCompress:
 			deepest, breadth, total := 0, 0, 0
 			for _, g := range l.Groups {
 				levels := log2ceil(len(g))
-				deepest = maxInt(deepest, levels)
+				deepest = max(deepest, levels)
 				nxor := len(g) - 1
 				if nxor < 0 {
 					nxor = 0
@@ -141,7 +141,7 @@ func (m CostModel) Estimate(c *Circuit) Cost {
 				total += nxor * m.XorTotal
 			}
 			cost.CriticalPath += deepest * m.XorPath
-			cost.Breadth = maxInt(cost.Breadth, breadth)
+			cost.Breadth = max(cost.Breadth, breadth)
 			cost.Total += total
 			w = len(l.Groups)
 		}
@@ -179,11 +179,4 @@ func (e *budgetError) Error() string {
 
 func errBudget(what string, got, limit int) error {
 	return &budgetError{what: what, got: got, limit: limit}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,200 @@
+// Hypothesis testing helpers for the workload validation harness:
+// chi-square goodness-of-fit with exact p-values (via the regularized
+// incomplete gamma function) and the one-sample Kolmogorov-Smirnov
+// test. The spec-driven trace generator is property-tested against
+// its declared phase structure with these — per-phase tenant shares,
+// switch cadence, and interval-distribution shape are accepted or
+// rejected at stated confidence levels instead of eyeballed.
+
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// gammaP returns the regularized lower incomplete gamma function
+// P(a, x) = γ(a, x)/Γ(a), computed by series expansion for x < a+1
+// and by continued fraction (modified Lentz) otherwise. Accuracy is
+// ~1e-12, far beyond what tolerance tests need.
+func gammaP(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 0
+	case x < a+1:
+		// Series: P(a,x) = e^-x x^a / Γ(a) * Σ x^n / (a(a+1)...(a+n))
+		ap := a
+		sum := 1 / a
+		del := sum
+		for n := 0; n < 500; n++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-15 {
+				break
+			}
+		}
+		logPrefix := -x + a*math.Log(x) - lgamma(a)
+		return sum * math.Exp(logPrefix)
+	default:
+		return 1 - gammaQCF(a, x)
+	}
+}
+
+// gammaQCF evaluates Q(a, x) = 1 - P(a, x) by continued fraction,
+// valid for x >= a+1.
+func gammaQCF(a, x float64) float64 {
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	logPrefix := -x + a*math.Log(x) - lgamma(a)
+	return math.Exp(logPrefix) * h
+}
+
+// lgamma wraps math.Lgamma, dropping the sign (arguments here are
+// always positive).
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// ChiSquarePValue returns P[X >= stat] for a chi-square variable with
+// df degrees of freedom: the p-value of an observed chi-square
+// statistic. Out-of-range inputs return NaN.
+func ChiSquarePValue(stat float64, df int) float64 {
+	if df <= 0 || stat < 0 || math.IsNaN(stat) {
+		return math.NaN()
+	}
+	return 1 - gammaP(float64(df)/2, stat/2)
+}
+
+// ErrDegenerate is returned when a test's inputs leave no degrees of
+// freedom or an empty expectation.
+var ErrDegenerate = errors.New("stats: degenerate test input")
+
+// ChiSquareGOF runs a chi-square goodness-of-fit test of observed
+// counts against expected probabilities (nil probs means uniform).
+// It returns the statistic and its p-value under the chi-square
+// approximation with len(counts)-1 degrees of freedom. Categories
+// with zero expected probability must have zero observed count.
+func ChiSquareGOF(counts []int, probs []float64) (stat, p float64, err error) {
+	if len(counts) < 2 {
+		return 0, 0, ErrDegenerate
+	}
+	if probs != nil && len(probs) != len(counts) {
+		return 0, 0, errors.New("stats: counts/probs length mismatch")
+	}
+	total := 0
+	for _, c := range counts {
+		if c < 0 {
+			return 0, 0, errors.New("stats: negative count")
+		}
+		total += c
+	}
+	if total == 0 {
+		return 0, 0, ErrDegenerate
+	}
+	df := len(counts) - 1
+	for i, c := range counts {
+		prob := 1 / float64(len(counts))
+		if probs != nil {
+			prob = probs[i]
+		}
+		if !(prob >= 0 && prob <= 1) {
+			return 0, 0, errors.New("stats: probability out of [0,1]")
+		}
+		expected := float64(total) * prob
+		if expected == 0 {
+			if c != 0 {
+				return 0, 0, errors.New("stats: observed count in zero-probability category")
+			}
+			df-- // empty category carries no information
+			continue
+		}
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	if df < 1 {
+		return 0, 0, ErrDegenerate
+	}
+	return stat, ChiSquarePValue(stat, df), nil
+}
+
+// KS runs a one-sample Kolmogorov-Smirnov test of the sample against
+// a continuous CDF. It returns the D statistic and the asymptotic
+// p-value (Stephens' small-sample correction applied). The sample is
+// not modified.
+func KS(sample []float64, cdf func(float64) float64) (d, p float64, err error) {
+	n := len(sample)
+	if n == 0 {
+		return 0, 0, ErrEmpty
+	}
+	xs := make([]float64, n)
+	copy(xs, sample)
+	sort.Float64s(xs)
+	fn := float64(n)
+	for i, x := range xs {
+		f := cdf(x)
+		if !(f >= 0 && f <= 1) {
+			return 0, 0, errors.New("stats: CDF value out of [0,1]")
+		}
+		if hi := float64(i+1)/fn - f; hi > d {
+			d = hi
+		}
+		if lo := f - float64(i)/fn; lo > d {
+			d = lo
+		}
+	}
+	sqrtN := math.Sqrt(fn)
+	lambda := (sqrtN + 0.12 + 0.11/sqrtN) * d
+	return d, kolmogorovQ(lambda), nil
+}
+
+// kolmogorovQ returns Q_KS(lambda) = 2 Σ_{k>=1} (-1)^{k-1} e^{-2 k²
+// λ²}, the asymptotic Kolmogorov survival function.
+func kolmogorovQ(lambda float64) float64 {
+	if lambda < 1e-8 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	q := 2 * sum
+	switch {
+	case q < 0:
+		return 0
+	case q > 1:
+		return 1
+	}
+	return q
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"stbpu/internal/rng"
+)
+
+// Reference chi-square critical values: P[X >= crit] = alpha.
+func TestChiSquarePValueKnownValues(t *testing.T) {
+	cases := []struct {
+		stat  float64
+		df    int
+		wantP float64
+	}{
+		{3.841, 1, 0.05},
+		{5.991, 2, 0.05},
+		{14.067, 7, 0.05},
+		{6.635, 1, 0.01},
+		{18.307, 10, 0.05},
+		{23.209, 10, 0.01},
+	}
+	for _, c := range cases {
+		got := ChiSquarePValue(c.stat, c.df)
+		if math.Abs(got-c.wantP) > 2e-4 {
+			t.Errorf("ChiSquarePValue(%v, %d) = %v, want %v", c.stat, c.df, got, c.wantP)
+		}
+	}
+	if p := ChiSquarePValue(0, 5); math.Abs(p-1) > 1e-12 {
+		t.Errorf("ChiSquarePValue(0, 5) = %v, want 1", p)
+	}
+	if !math.IsNaN(ChiSquarePValue(-1, 3)) || !math.IsNaN(ChiSquarePValue(1, 0)) {
+		t.Errorf("out-of-range inputs should return NaN")
+	}
+}
+
+func TestChiSquareGOF(t *testing.T) {
+	// Perfectly uniform counts: statistic 0, p-value 1.
+	stat, p, err := ChiSquareGOF([]int{100, 100, 100, 100}, nil)
+	if err != nil || stat != 0 || math.Abs(p-1) > 1e-12 {
+		t.Fatalf("uniform counts: stat=%v p=%v err=%v", stat, p, err)
+	}
+	// Grossly skewed counts must be rejected at any sane level.
+	_, p, err = ChiSquareGOF([]int{1000, 10, 10, 10}, nil)
+	if err != nil || p > 1e-6 {
+		t.Fatalf("skewed counts: p=%v err=%v", p, err)
+	}
+	// Counts matching a non-uniform expectation pass.
+	_, p, err = ChiSquareGOF([]int{600, 300, 100}, []float64{0.6, 0.3, 0.1})
+	if err != nil || p < 0.99 {
+		t.Fatalf("matched probs: p=%v err=%v", p, err)
+	}
+	// Degenerate inputs error instead of fabricating confidence.
+	if _, _, err := ChiSquareGOF([]int{5}, nil); err == nil {
+		t.Errorf("single category should be degenerate")
+	}
+	if _, _, err := ChiSquareGOF([]int{0, 0}, nil); err == nil {
+		t.Errorf("all-zero counts should be degenerate")
+	}
+	if _, _, err := ChiSquareGOF([]int{1, 2}, []float64{0, 1}); err == nil {
+		t.Errorf("observation in zero-probability category should error")
+	}
+}
+
+func TestKSUniform(t *testing.T) {
+	uniformCDF := func(x float64) float64 {
+		switch {
+		case x < 0:
+			return 0
+		case x > 1:
+			return 1
+		}
+		return x
+	}
+	r := rng.New(42)
+	sample := make([]float64, 2000)
+	for i := range sample {
+		sample[i] = r.Float64()
+	}
+	d, p, err := KS(sample, uniformCDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.01 {
+		t.Errorf("uniform sample rejected against uniform CDF: D=%v p=%v", d, p)
+	}
+	// The same sample against a visibly wrong CDF must be rejected.
+	squareCDF := func(x float64) float64 { return uniformCDF(x) * uniformCDF(x) }
+	_, p, err = KS(sample, squareCDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("uniform sample accepted against x^2 CDF: p=%v", p)
+	}
+	if _, _, err := KS(nil, uniformCDF); err == nil {
+		t.Errorf("empty sample should error")
+	}
+}
+
+// The exact D statistic for a tiny hand-checked sample.
+func TestKSStatisticExact(t *testing.T) {
+	cdf := func(x float64) float64 { return x }
+	d, _, err := KS([]float64{0.1, 0.2, 0.9}, cdf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted: 0.1, 0.2, 0.9 against i/3: sup gap is |2/3 - 0.2|.
+	want := 2.0/3.0 - 0.2
+	if math.Abs(d-want) > 1e-12 {
+		t.Errorf("D = %v, want %v", d, want)
+	}
+}

@@ -243,7 +243,7 @@ func New(cfg Config) *Predictor {
 			p.scTables[i] = make([]int8, 1<<scTableBits)
 		}
 		for _, l := range p.scLens {
-			p.scFolds = append(p.scFolds, newFolded(uint(maxInt(l, 1)), scTableBits))
+			p.scFolds = append(p.scFolds, newFolded(uint(max(l, 1)), scTableBits))
 		}
 		p.scThresh = 6
 	}
@@ -597,11 +597,4 @@ func absInt(v int) int {
 		return -v
 	}
 	return v
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

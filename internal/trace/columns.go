@@ -62,6 +62,12 @@ type Columns struct {
 	PIDs []uint32
 	// Programs holds the per-record binary identity.
 	Programs []uint16
+
+	// parent keeps the Columns a Slice view was cut from reachable.
+	// mmap-backed columns (tracestore.SetMapped) unmap their region via
+	// a finalizer on the original *Columns; a view that outlived it
+	// would read unmapped memory, so every view pins its source.
+	parent *Columns
 }
 
 // Len reports the number of records.
@@ -75,6 +81,32 @@ func (c *Columns) Taken(i int) bool { return c.Flags[i]&FlagTaken != 0 }
 
 // Kernel reports whether record i executed in supervisor mode.
 func (c *Columns) Kernel(i int) bool { return c.Flags[i]&FlagKernel != 0 }
+
+// Slice returns a read-only view of rows [lo, hi) sharing the backing
+// arrays. The view retains a reference to c (see the parent field), so
+// slicing an mmap-backed trace is safe; like c itself, the view must be
+// treated as immutable. Slice panics when the bounds are out of range,
+// matching built-in slice semantics. Views are cheap cursors for phase
+// replay — do not store them in byte-budgeted caches, where SizeBytes
+// would charge the full backing arrays again.
+func (c *Columns) Slice(lo, hi int) *Columns {
+	if lo < 0 || hi < lo || hi > c.Len() {
+		panic(fmt.Sprintf("trace: Slice bounds [%d:%d) out of range for %d records", lo, hi, c.Len()))
+	}
+	root := c
+	if c.parent != nil {
+		root = c.parent // re-slicing a view pins the original owner
+	}
+	return &Columns{
+		Name:     c.Name,
+		PCs:      c.PCs[lo:hi:hi],
+		Targets:  c.Targets[lo:hi:hi],
+		Flags:    c.Flags[lo:hi:hi],
+		PIDs:     c.PIDs[lo:hi:hi],
+		Programs: c.Programs[lo:hi:hi],
+		parent:   root,
+	}
+}
 
 // Record materializes row i as an AoS Record.
 func (c *Columns) Record(i int) Record {

@@ -159,3 +159,43 @@ func TestColumnsSizeBytesExact(t *testing.T) {
 		t.Errorf("SizeBytes = %d, want %d", got, want)
 	}
 }
+
+// TestColumnsSliceViews pins the zero-copy window contract: a slice
+// answers accessors like the equivalent record subrange, re-slicing
+// composes, and out-of-range bounds panic rather than alias.
+func TestColumnsSliceViews(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	recs := randomRecords(rng, 500)
+	cols := FromRecords("slice", recs)
+
+	s := cols.Slice(100, 400)
+	if s.Len() != 300 {
+		t.Fatalf("slice len %d", s.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		if s.Record(i) != recs[100+i] {
+			t.Fatalf("slice record %d diverges", i)
+		}
+	}
+	// Re-slicing a view windows the view, not the root.
+	ss := s.Slice(50, 60)
+	for i := 0; i < ss.Len(); i++ {
+		if ss.Record(i) != recs[150+i] {
+			t.Fatalf("re-slice record %d diverges", i)
+		}
+	}
+	// Empty and full windows are legal.
+	if cols.Slice(0, 0).Len() != 0 || cols.Slice(0, 500).Len() != 500 {
+		t.Error("degenerate windows mis-sized")
+	}
+	for _, bad := range [][2]int{{-1, 10}, {10, 501}, {20, 10}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Slice(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			cols.Slice(bad[0], bad[1])
+		}()
+	}
+}

@@ -1,0 +1,288 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"stbpu/internal/rng"
+	"stbpu/internal/stats"
+)
+
+// phasedFixture is a small two-tenant, two-phase profile exercising
+// weights, a mix override, drift, and a burst modifier.
+func phasedFixture() PhasedProfile {
+	web, _ := Preset("apache2_prefork_c64")
+	db, _ := Preset("mysql_64con_50s")
+	return PhasedProfile{
+		Name: "phased-test",
+		Tenants: []TenantSpec{
+			{Name: "web", Profile: web, Image: 0},
+			{Name: "db", Profile: db, Image: 1},
+		},
+		Phases: []PhaseDef{
+			{Name: "a", Records: 6000, Weights: []float64{2, 1},
+				Switch: Arrival{Kind: ArrivalGeometric, Mean: 800}},
+			{Name: "b", Records: 6000, Weights: []float64{1, 3},
+				Switch: Arrival{Kind: ArrivalGamma, Mean: 500, Shape: 2},
+				Mix:    &DynMix{Cond: 0.6, Jump: 0.1, Call: 0.08, Indirect: 0.08},
+				Drift:  0.02,
+				Burst:  &BurstDef{Period: 2000, Len: 500, Factor: 6}},
+		},
+	}
+}
+
+func TestPhasedGenerateDeterministic(t *testing.T) {
+	pp := phasedFixture()
+	a, err := GeneratePhased(pp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GeneratePhased(pp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ab, bb bytes.Buffer
+	if err := Write(&ab, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab.Bytes(), bb.Bytes()) {
+		t.Error("same profile generated different bytes")
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("generated trace invalid: %v", err)
+	}
+	if len(a.Records) != pp.TotalRecords() {
+		t.Errorf("generated %d records, want %d", len(a.Records), pp.TotalRecords())
+	}
+
+	seeded := pp
+	seeded.Seed = 7
+	c, err := GeneratePhased(seeded, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cb bytes.Buffer
+	if err := Write(&cb, c); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ab.Bytes(), cb.Bytes()) {
+		t.Error("distinct instance seeds produced identical traces")
+	}
+}
+
+func TestPhasedRescalesToBudget(t *testing.T) {
+	tr, err := GeneratePhased(phasedFixture(), 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 3000 {
+		t.Errorf("rescaled trace has %d records, want 3000", len(tr.Records))
+	}
+}
+
+func TestPhaseBoundariesProperties(t *testing.T) {
+	phases := []PhaseDef{{Records: 3}, {Records: 5}, {Records: 2}}
+	for _, records := range []int{1, 2, 7, 10, 100, 99999} {
+		b := PhaseBoundaries(phases, records)
+		if len(b) != len(phases)+1 {
+			t.Fatalf("records=%d: %d boundaries", records, len(b))
+		}
+		if b[0] != 0 || b[len(b)-1] != records {
+			t.Errorf("records=%d: endpoints %v", records, b)
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i] < b[i-1] {
+				t.Errorf("records=%d: non-monotone %v", records, b)
+			}
+		}
+	}
+	// Proportionality at a clean multiple.
+	b := PhaseBoundaries(phases, 100)
+	if b[1] != 30 || b[2] != 80 {
+		t.Errorf("proportional split wrong: %v", b)
+	}
+}
+
+func TestPhasedValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*PhasedProfile)
+	}{
+		{"zero-record phase", func(pp *PhasedProfile) { pp.Phases[0].Records = 0 }},
+		{"image out of range", func(pp *PhasedProfile) { pp.Tenants[0].Image = 9 }},
+		{"arrival mean below 1", func(pp *PhasedProfile) { pp.Phases[0].Switch.Mean = 0.2 }},
+		{"nan arrival mean", func(pp *PhasedProfile) { pp.Phases[0].Switch.Mean = math.NaN() }},
+		{"gamma without shape", func(pp *PhasedProfile) {
+			pp.Phases[0].Switch = Arrival{Kind: ArrivalGamma, Mean: 100}
+		}},
+		{"negative weight", func(pp *PhasedProfile) { pp.Phases[0].Weights = []float64{1, -1} }},
+		{"nan weight", func(pp *PhasedProfile) { pp.Phases[0].Weights = []float64{1, math.NaN()} }},
+		{"all-zero weights", func(pp *PhasedProfile) { pp.Phases[0].Weights = []float64{0, 0} }},
+		{"weight arity", func(pp *PhasedProfile) { pp.Phases[0].Weights = []float64{1, 2, 3} }},
+		{"one-sided ramp", func(pp *PhasedProfile) { pp.Phases[0].RampFrom = 2 }},
+		{"drift past half", func(pp *PhasedProfile) { pp.Phases[0].Drift = 0.6 }},
+		{"burst len past period", func(pp *PhasedProfile) {
+			pp.Phases[0].Burst = &BurstDef{Period: 10, Len: 20, Factor: 2}
+		}},
+		{"mix without cond", func(pp *PhasedProfile) {
+			pp.Phases[0].Mix = &DynMix{Jump: 0.5}
+		}},
+		{"nan mix", func(pp *PhasedProfile) {
+			pp.Phases[0].Mix = &DynMix{Cond: math.NaN()}
+		}},
+		{"no phases", func(pp *PhasedProfile) { pp.Phases = nil }},
+		{"no tenants", func(pp *PhasedProfile) { pp.Tenants = nil }},
+	}
+	for _, tc := range cases {
+		pp := phasedFixture()
+		tc.mutate(&pp)
+		if err := pp.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestArrivalSamplerDistributions KS-tests the Gamma and Weibull
+// samplers against their analytic CDFs — the null is exact here, so a
+// real p-value threshold applies (the stream is deterministic, so this
+// cannot flake; a failure means the sampler, not luck, changed).
+func TestArrivalSamplerDistributions(t *testing.T) {
+	const n = 3000
+	draw := func(a Arrival) []float64 {
+		r := rng.New(0x5eed)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = a.sampleFloat(r)
+		}
+		return xs
+	}
+
+	// Gamma(shape 2, scale mean/2) = Erlang-2: F(x) = 1-(1+x/θ)e^{-x/θ}.
+	gamma := draw(Arrival{Kind: ArrivalGamma, Mean: 1000, Shape: 2})
+	theta := 500.0
+	d, p, err := stats.KS(gamma, func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		return 1 - (1+x/theta)*math.Exp(-x/theta)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.01 {
+		t.Errorf("gamma sampler rejected: D=%.4f p=%.4g", d, p)
+	}
+
+	// Weibull(shape k, scale λ = mean/Γ(1+1/k)).
+	k := 1.5
+	weibull := draw(Arrival{Kind: ArrivalWeibull, Mean: 1000, Shape: k})
+	lambda := 1000 / math.Gamma(1+1/k)
+	d, p, err = stats.KS(weibull, func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		return 1 - math.Exp(-math.Pow(x/lambda, k))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.01 {
+		t.Errorf("weibull sampler rejected: D=%.4f p=%.4g", d, p)
+	}
+
+	// Fixed is degenerate at the mean; geometric matches its mean to a
+	// few percent (discrete, capped at 8x mean like the flat generator).
+	for _, x := range draw(Arrival{Kind: ArrivalFixed, Mean: 1234}) {
+		if x != 1234 {
+			t.Fatalf("fixed arrival drew %v", x)
+		}
+	}
+	geo := draw(Arrival{Kind: ArrivalGeometric, Mean: 700})
+	if m := stats.Mean(geo); math.Abs(m-700) > 0.05*700 {
+		t.Errorf("geometric sampler mean %v, want ~700", m)
+	}
+	// Sampler means for the continuous families, while we are here.
+	if m := stats.Mean(gamma); math.Abs(m-1000) > 0.05*1000 {
+		t.Errorf("gamma sampler mean %v, want ~1000", m)
+	}
+	if m := stats.Mean(weibull); math.Abs(m-1000) > 0.05*1000 {
+		t.Errorf("weibull sampler mean %v, want ~1000", m)
+	}
+}
+
+// TestProfileWithRecordsProperty pins WithRecords as a pure field
+// update across edge budgets: only Records may change, and validity is
+// exactly "n >= 1" for an otherwise-valid profile.
+func TestProfileWithRecordsProperty(t *testing.T) {
+	base, _ := Preset("apache2_prefork_c64")
+	for _, n := range []int{0, 1, 2, 7, 1 << 20} {
+		p := base.WithRecords(n)
+		if p.Records != n {
+			t.Fatalf("WithRecords(%d).Records = %d", n, p.Records)
+		}
+		p.Records = base.Records
+		if p != base {
+			t.Fatalf("WithRecords(%d) mutated another field", n)
+		}
+		pn := base.WithRecords(n)
+		err := pn.Validate()
+		if n >= 1 && err != nil {
+			t.Errorf("WithRecords(%d) invalid: %v", n, err)
+		}
+		if n < 1 && err == nil {
+			t.Errorf("WithRecords(%d) accepted", n)
+		}
+	}
+}
+
+// TestProfileEdgeGeneration drives Generate through degenerate but
+// legal profiles: a single process with no switching at all, and
+// switch cadences at both extremes.
+func TestProfileEdgeGeneration(t *testing.T) {
+	base, _ := Preset("505.mcf")
+
+	single := base.WithRecords(2000)
+	single.Processes = 1
+	single.CtxSwitchMean = 0 // switching disabled
+	tr, err := Generate(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.ComputeStats()
+	if s.Processes != 1 || s.ContextSwitches != 0 {
+		t.Errorf("single-process trace: %d procs, %d switches", s.Processes, s.ContextSwitches)
+	}
+
+	// Extreme cadences: switch (almost) every record, and switch far
+	// less often than the trace is long.
+	for _, mean := range []int{1, 1 << 30} {
+		p := base.WithRecords(2000)
+		p.Processes = 3
+		p.CtxSwitchMean = mean
+		tr, err := Generate(p)
+		if err != nil {
+			t.Fatalf("CtxSwitchMean=%d: %v", mean, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("CtxSwitchMean=%d: %v", mean, err)
+		}
+	}
+}
+
+func BenchmarkPhasedGenerate(b *testing.B) {
+	pp := phasedFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GeneratePhased(pp, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package spec
+
+import "fmt"
+
+// Builtin returns the built-in workload spec fixtures — the "normal /
+// sweep / burst" trio of serverless trace synthesizers, recast as
+// branch-record phase structures. They are both the default scenario
+// population of the suite's workloads family and the fixtures the
+// statistical validation harness measures across many seeds.
+func Builtin() []*Spec {
+	steady := &Spec{
+		Name:     "steady",
+		RateSkew: 1.0,
+		Tenants: []Tenant{
+			{Name: "web", Preset: "apache2_prefork_c64"},
+			{Name: "db", Preset: "mysql_64con_50s"},
+			{Name: "batch", Preset: "505.mcf"},
+		},
+		Phases: []Phase{
+			{Name: "steady", Records: 30_000,
+				Switch: Arrival{Model: "geometric", Mean: 1500}},
+		},
+	}
+	ramp := &Spec{
+		Name: "ramp",
+		Tenants: []Tenant{
+			{Name: "web", Preset: "apache2_prefork_c128", Weight: 3},
+			{Name: "db", Preset: "mysql_128con_50s", Weight: 2},
+			{Name: "batch", Preset: "557.xz", Weight: 1},
+		},
+		Phases: []Phase{
+			{Name: "warm", Records: 10_000,
+				Switch: Arrival{Model: "fixed", Mean: 2500}},
+			{Name: "ramp", Records: 20_000,
+				Switch: Arrival{Model: "gamma", Mean: 2000, Shape: 2},
+				Ramp:   &Ramp{From: 1, To: 6}},
+			{Name: "peak", Records: 10_000,
+				Switch:  Arrival{Model: "gamma", Mean: 350, Shape: 2},
+				Weights: []float64{5, 3, 1},
+				Drift:   0.01},
+		},
+	}
+	burst := &Spec{
+		Name:         "burst",
+		SharedTokens: true,
+		Tenants: []Tenant{
+			{Name: "worker1", Preset: "apache2_prefork_c256", Image: "httpd", Weight: 3},
+			{Name: "worker2", Preset: "apache2_prefork_c256", Image: "httpd", Weight: 3},
+			{Name: "browser", Preset: "chrome-1jetstream", Weight: 2},
+		},
+		Phases: []Phase{
+			{Name: "calm", Records: 15_000,
+				Switch: Arrival{Model: "weibull", Mean: 1800, Shape: 1.5}},
+			{Name: "bursty", Records: 25_000,
+				Switch: Arrival{Model: "geometric", Mean: 1500},
+				Burst:  &Burst{Period: 5000, Len: 1000, Factor: 10},
+				Drift:  0.02,
+				Mix:    &Mix{Cond: 0.58, Jump: 0.08, Call: 0.09, Indirect: 0.10}},
+			{Name: "drain", Records: 10_000,
+				Switch:  Arrival{Model: "fixed", Mean: 2200},
+				Weights: []float64{1, 1, 6}},
+		},
+	}
+	return []*Spec{steady, ramp, burst}
+}
+
+// RegisterBuiltin installs the built-in fixtures (idempotent). A
+// fixture failing validation is a programming error, so it panics.
+func RegisterBuiltin() {
+	for _, s := range Builtin() {
+		if err := Register(s); err != nil {
+			panic(fmt.Sprintf("spec: builtin %q: %v", s.Name, err))
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSpecRoundTrip is the parser's robustness and stability gate.
+// For arbitrary input bytes, Parse must either reject with an error —
+// never panic, hang, or balloon (the schema limits bound every
+// allocation) — or yield a document whose canonical serialization is a
+// fixed point: parse → serialize → parse reproduces the identical
+// canonical bytes, hash, and workload name. Accepted documents must
+// also actually generate: a validated spec that cannot build its trace
+// would poison every cache tier keyed on its name.
+func FuzzSpecRoundTrip(f *testing.F) {
+	for _, s := range Builtin() {
+		f.Add(s.Canonical())
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","tenants":[{"name":"t","preset":"505.mcf"}],"phases":[{"name":"p","records":100,"switch":{"mean":10}}]}`))
+	f.Add([]byte(`{"name":"x","tenants":[],"phases":[]}`))
+	f.Add([]byte(`{"name":"x","tenants":[{"name":"t","preset":"505.mcf","weight":-1}],"phases":[{"name":"p","records":0,"switch":{"mean":1e400}}]}`))
+	f.Add([]byte(`{"name":"x","rate_skew":9,"tenants":[{"name":"t","preset":"nope"}],"phases":[{"name":"p","records":-1,"switch":{"model":"gamma","mean":10}}]}`))
+	f.Add([]byte(strings.Repeat(`[`, 1000)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		canon := s.Canonical()
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, canon)
+		}
+		canon2 := again.Canonical()
+		if string(canon) != string(canon2) {
+			t.Fatalf("canonicalization unstable:\n%s\n%s", canon, canon2)
+		}
+		if s.Hash() != again.Hash() || s.WorkloadName() != again.WorkloadName() {
+			t.Fatal("hash or workload name changed across round trip")
+		}
+		// Schema limits must hold on anything Validate accepted.
+		if len(s.Tenants) > MaxTenants || len(s.Phases) > MaxPhases || s.TotalRecords() > MaxTotalRecords {
+			t.Fatalf("limits violated: %d tenants, %d phases, %d records",
+				len(s.Tenants), len(s.Phases), s.TotalRecords())
+		}
+		// Accepted specs must generate a structurally valid trace at a
+		// small budget (bounded work regardless of the spec's own total).
+		tr, err := s.Generate(512, 1)
+		if err != nil {
+			t.Fatalf("validated spec failed to generate: %v\n%s", err, canon)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("generated trace invalid: %v", err)
+		}
+	})
+}

@@ -1,0 +1,280 @@
+package spec
+
+// The statistical validation harness: property tests that generated
+// traces actually exhibit the statistics their spec declares, measured
+// across many independent instance seeds (>= 20 per fixture, the
+// acceptance floor). Two rigor tiers:
+//
+//   - Exact hypothesis tests where the null is exact: with a fixed
+//     arrival of mean 1 the generator draws a fresh weight-proportional
+//     tenant for every record, so per-record owner counts are iid
+//     categorical and chi-square goodness-of-fit p-values apply
+//     directly (TestSpecExactTenantChiSquare).
+//
+//   - Tolerance checks where the null is only asymptotic: record-level
+//     tenant shares, visible switch cadence, burst densification, and
+//     mix overrides have entry-segment and renewal-approximation bias,
+//     so the assertions use tolerances derived from the known segment
+//     counts instead of p-values (TestSpecStatisticalValidation).
+//
+// Every trace instance is deterministic in (spec, seed), so these
+// tests cannot flake: a failure means the generator's statistics
+// moved, not luck.
+
+import (
+	"math"
+	"testing"
+
+	"stbpu/internal/stats"
+	"stbpu/internal/trace"
+)
+
+const validationSeeds = 24
+
+// phaseObs accumulates per-phase observations across seeds.
+type phaseObs struct {
+	counts    []int // records per tenant
+	switches  int   // visible PID changes
+	inBurst   int   // visible switches inside burst windows
+	outBurst  int
+	userConds int       // non-kernel conditional records
+	userTotal int       // non-kernel records
+	intervals []float64 // visible inter-switch gaps, in records
+}
+
+// observe scans one generated trace into per-phase observations.
+func observe(t *testing.T, s *Spec, records int, seed uint64, obs []*phaseObs) {
+	t.Helper()
+	tr, err := s.Generate(records, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := s.Boundaries(records)
+	for pi := range s.Phases {
+		o := obs[pi]
+		lo, hi := bounds[pi], bounds[pi+1]
+		ph := &s.Phases[pi]
+		lastSwitch := -1
+		for i := lo; i < hi; i++ {
+			rec := tr.Records[i]
+			o.counts[int(rec.PID)-1]++
+			if !rec.Kernel {
+				o.userTotal++
+				if rec.Kind == trace.KindCond {
+					o.userConds++
+				}
+			}
+			if i > lo && rec.PID != tr.Records[i-1].PID {
+				o.switches++
+				if lastSwitch >= 0 {
+					o.intervals = append(o.intervals, float64(i-lastSwitch))
+				}
+				lastSwitch = i
+				if ph.Burst != nil {
+					if (i-lo)%ph.Burst.Period < ph.Burst.Len {
+						o.inBurst++
+					} else {
+						o.outBurst++
+					}
+				}
+			}
+		}
+	}
+}
+
+// expectedVisibleSwitches predicts a phase's visible PID changes.
+// Base rate: draws ~ n*rampAvg/mean, each changing the tenant with
+// probability 1 - sum(w_i^2). Bursts need an alternating-renewal
+// correction, because the load multiplier is sampled at segment start,
+// not continuously: an interval drawn outside the window (mean can
+// exceed the window length) often skips the window entirely. Per
+// period, outside draws ~ (period-len)/meanOut, entries into the
+// window ~ len/meanOut, and each entry cascades ~ 1 + (len/2)/meanIn
+// further dense draws before escaping.
+func expectedVisibleSwitches(s *Spec, pi, n int) float64 {
+	ph := &s.Phases[pi]
+	rampAvg := 1.0
+	if ph.Ramp != nil {
+		rampAvg = (ph.Ramp.From + ph.Ramp.To) / 2
+	}
+	draws := float64(n) * rampAvg / ph.Switch.Mean
+	if b := ph.Burst; b != nil {
+		meanOut := ph.Switch.Mean / rampAvg
+		meanIn := meanOut / b.Factor
+		length := float64(b.Len)
+		outside := (float64(b.Period) - length) / meanOut
+		inside := (length / meanOut) * (1 + length/2/meanIn)
+		draws = float64(n) / float64(b.Period) * (outside + inside)
+	}
+	pChange := 1.0
+	for _, w := range s.PhaseWeights(pi) {
+		pChange -= w * w
+	}
+	return draws * pChange
+}
+
+// TestSpecStatisticalValidation generates every built-in fixture
+// across validationSeeds independent seeds and checks each phase's
+// observed statistics against the spec's declared structure.
+func TestSpecStatisticalValidation(t *testing.T) {
+	mult := 3 // record multiplier: more records -> tighter tolerances
+	if testing.Short() {
+		mult = 2
+	}
+	for _, s := range Builtin() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			records := s.TotalRecords() * mult
+			bounds := s.Boundaries(records)
+			obs := make([]*phaseObs, len(s.Phases))
+			for pi := range obs {
+				obs[pi] = &phaseObs{counts: make([]int, len(s.Tenants))}
+			}
+			for seed := uint64(1); seed <= validationSeeds; seed++ {
+				observe(t, s, records, seed, obs)
+			}
+
+			for pi := range s.Phases {
+				ph := &s.Phases[pi]
+				o := obs[pi]
+				n := bounds[pi+1] - bounds[pi]
+				weights := s.PhaseWeights(pi)
+
+				// Tenant record shares: expected share equals the
+				// normalized weight (self-draws permitted, so segment
+				// owners are iid weight-categorical). Tolerance = the
+				// phase-entry segment bias (one segment per seed owned
+				// by the previous phase's distribution, ~mean/n of the
+				// phase) + 4 sigma of the share estimator, whose
+				// effective sample count is the number of scheduling
+				// segments, not records (segment lengths have CV ~ 1,
+				// hence the factor 2 in the variance).
+				total := 0
+				for _, c := range o.counts {
+					total += c
+				}
+				segs := float64(validationSeeds*n) / ph.Switch.Mean
+				entry := ph.Switch.Mean / float64(n)
+				for ti, w := range weights {
+					share := float64(o.counts[ti]) / float64(total)
+					sigma := math.Sqrt(2 * w * (1 - w) / segs)
+					tol := entry + 4*sigma + 0.005
+					if math.Abs(share-w) > tol {
+						t.Errorf("phase %q tenant %q share %.4f, want %.4f +- %.4f",
+							ph.Name, s.Tenants[ti].Name, share, w, tol)
+					}
+				}
+
+				// Switch cadence: visible switches track the declared
+				// arrival mean, ramp, and burst modifiers. The renewal
+				// prediction is approximate (interval rounding, load
+				// lag), so the band is wide — but still far tighter
+				// than any modifier being dropped (a missing burst
+				// factor alone shifts the count ~2.8x).
+				want := expectedVisibleSwitches(s, pi, n) * validationSeeds
+				got := float64(o.switches)
+				if got < 0.70*want || got > 1.30*want {
+					t.Errorf("phase %q visible switches %d, want ~%.0f (+-30%%)",
+						ph.Name, o.switches, want)
+				}
+
+				// Distribution moments: the mean visible inter-switch
+				// gap is the per-record switch rate inverted. Only
+				// meaningful with plenty of gaps per phase window: the
+				// final in-progress gap is dropped at the boundary,
+				// and dropped gaps are length-biased, so sparse phases
+				// (skewed weights -> long dwells, e.g. burst/drain)
+				// would read biased-short.
+				if len(o.intervals) > 50 && want >= 20*validationSeeds {
+					wantGap := float64(n) * float64(validationSeeds) / want
+					if m := stats.Mean(o.intervals); math.Abs(m-wantGap) > 0.30*wantGap {
+						t.Errorf("phase %q mean switch gap %.0f, want ~%.0f (+-30%%)",
+							ph.Name, m, wantGap)
+					}
+				}
+
+				// Burst densification: switch density inside burst
+				// windows must far exceed the density outside.
+				if ph.Burst != nil {
+					inLen := float64(ph.Burst.Len) / float64(ph.Burst.Period)
+					din := float64(o.inBurst) / (float64(n) * inLen)
+					dout := float64(o.outBurst) / (float64(n) * (1 - inLen))
+					if dout <= 0 || din/dout < 3 {
+						t.Errorf("phase %q burst density ratio %.2f, want > 3 (factor %v)",
+							ph.Name, din/dout, ph.Burst.Factor)
+					}
+				}
+
+				// Mix override: the user-mode conditional fraction
+				// tracks the declared override.
+				if ph.Mix != nil && o.userTotal > 0 {
+					frac := float64(o.userConds) / float64(o.userTotal)
+					if math.Abs(frac-ph.Mix.Cond) > 0.06 {
+						t.Errorf("phase %q cond fraction %.3f, want %.3f +- 0.06",
+							ph.Name, frac, ph.Mix.Cond)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSpecExactTenantChiSquare runs a real goodness-of-fit hypothesis
+// test with an exact null: a fixed arrival of mean 1 redraws the
+// tenant weight-proportionally before every record, so every record
+// after the first is an iid categorical sample. Per-seed chi-square
+// p-values must behave like p-values (no catastrophic rejections, few
+// small ones), and the seed-aggregated counts must accept.
+func TestSpecExactTenantChiSquare(t *testing.T) {
+	s := &Spec{
+		Name: "chisq",
+		Tenants: []Tenant{
+			{Name: "a", Preset: "505.mcf", Weight: 5},
+			{Name: "b", Preset: "505.mcf", Weight: 3},
+			{Name: "c", Preset: "505.mcf", Weight: 2},
+		},
+		Phases: []Phase{
+			{Name: "p", Records: 20_000, Switch: Arrival{Model: "fixed", Mean: 1}},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	probs := []float64{0.5, 0.3, 0.2}
+
+	agg := make([]int, 3)
+	small := 0
+	for seed := uint64(1); seed <= validationSeeds; seed++ {
+		tr, err := s.Generate(0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, 3)
+		for _, rec := range tr.Records[1:] { // record 0 is the fixed entry tenant
+			counts[int(rec.PID)-1]++
+			agg[int(rec.PID)-1]++
+		}
+		stat, p, err := stats.ChiSquareGOF(counts, probs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 1e-6 {
+			t.Errorf("seed %d: chi-square catastrophically rejects: stat=%.2f p=%.3g counts=%v",
+				seed, stat, p, counts)
+		}
+		if p < 0.05 {
+			small++
+		}
+	}
+	// With 24 true-null tests, P(>6 of them below 0.05) < 1e-4.
+	if small > 6 {
+		t.Errorf("%d/%d seeds rejected at 0.05 — shares are off, not unlucky", small, validationSeeds)
+	}
+	stat, p, err := stats.ChiSquareGOF(agg, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-4 {
+		t.Errorf("aggregated counts reject: stat=%.2f p=%.3g counts=%v", stat, p, agg)
+	}
+}

@@ -106,17 +106,29 @@ func (p *Profile) Validate() error {
 	if p.StaticConds <= 0 {
 		return fmt.Errorf("profile %q: StaticConds must be positive", p.Name)
 	}
+	// All comparisons are phrased so that NaN fails them: a NaN fraction
+	// would silently poison every downstream probability draw.
+	for _, f := range []float64{p.CondFrac, p.JumpFrac, p.CallFrac, p.IndirectFrac} {
+		if !(f >= 0 && f <= 1) {
+			return fmt.Errorf("profile %q: dynamic-mix fraction %v out of [0,1]", p.Name, f)
+		}
+	}
 	sum := p.CondFrac + p.JumpFrac + p.CallFrac + p.IndirectFrac
-	if sum > 1.0001 {
+	if !(sum <= 1.0001) {
 		return fmt.Errorf("profile %q: dynamic mix sums to %v > 1", p.Name, sum)
 	}
 	for _, f := range []float64{p.HardFrac, p.PatternFrac, p.CorrelatedFrac, p.BiasTakenProb} {
-		if f < 0 || f > 1 {
+		if !(f >= 0 && f <= 1) {
 			return fmt.Errorf("profile %q: fraction %v out of [0,1]", p.Name, f)
 		}
 	}
-	if p.HardFrac+p.PatternFrac+p.CorrelatedFrac > 1.0001 {
+	if !(p.HardFrac+p.PatternFrac+p.CorrelatedFrac <= 1.0001) {
 		return fmt.Errorf("profile %q: behaviour mixture exceeds 1", p.Name)
+	}
+	for _, f := range []float64{p.ZipfSkew, p.RegionExp, p.HistDepIndirectFrac} {
+		if !(f >= 0) || math.IsInf(f, 1) {
+			return fmt.Errorf("profile %q: shape parameter %v out of range", p.Name, f)
+		}
 	}
 	return nil
 }
@@ -225,6 +237,11 @@ type Generator struct {
 	kernel   *program
 	procs    []procState
 	ghist    uint64 // global outcome history driving correlated behaviour
+	// flipProb inverts a conditional's resolved outcome with this
+	// probability before it is recorded or pushed to history — the
+	// phase-spec "misprediction drift" knob (phased.go). Zero for flat
+	// profiles, so preset streams are unchanged.
+	flipProb float64
 }
 
 // progBase returns the text base address of program i. Bases are 2^37 apart
@@ -255,9 +272,9 @@ func NewGenerator(p Profile) (*Generator, error) {
 	if p.KernelConds > 0 {
 		kp := p
 		kp.StaticConds = p.KernelConds
-		kp.StaticIndirects = maxInt(1, p.KernelConds/16)
-		kp.StaticCallees = maxInt(1, p.KernelConds/8)
-		kp.StaticJumps = maxInt(1, p.KernelConds/8)
+		kp.StaticIndirects = max(1, p.KernelConds/16)
+		kp.StaticCallees = max(1, p.KernelConds/8)
+		kp.StaticJumps = max(1, p.KernelConds/8)
 		kg := &Generator{p: kp, r: g.r}
 		g.kernel = kg.buildProgram(kernelBase)
 	}
@@ -279,7 +296,7 @@ func (g *Generator) buildProgram(base uint64) *program {
 	// Sites are spread over a footprint proportional to the working set,
 	// 16-byte spaced, and unique: two static branches never share an
 	// address (rejection-sampled).
-	footprint := uint64(maxInt(p.StaticConds*128, 1<<17))
+	footprint := uint64(max(p.StaticConds*128, 1<<17))
 	used := make(map[uint64]struct{})
 	site := func() uint64 {
 		for {
@@ -300,7 +317,7 @@ func (g *Generator) buildProgram(base uint64) *program {
 			sc.p = 0.5 + g.r.Float64()*0.2
 		case u < p.HardFrac+p.PatternFrac:
 			sc.kind = condLoop
-			sc.period = 2 + g.r.Intn(maxInt(p.LoopPeriodMax-1, 1))
+			sc.period = 2 + g.r.Intn(max(p.LoopPeriodMax-1, 1))
 		case u < p.HardFrac+p.PatternFrac+p.CorrelatedFrac:
 			sc.kind = condCorrelated
 			// Real correlated branches depend on 1-3 specific recent
@@ -323,9 +340,9 @@ func (g *Generator) buildProgram(base uint64) *program {
 	if histDepFrac == 0 {
 		histDepFrac = 0.3
 	}
-	for i := 0; i < maxInt(p.StaticIndirects, 1); i++ {
+	for i := 0; i < max(p.StaticIndirects, 1); i++ {
 		si := staticIndirect{pc: site(), salt: g.r.Uint64(), histDep: g.r.Bool(histDepFrac)}
-		fanout := 1 + g.r.Intn(maxInt(p.IndirectTargetsMax, 1))
+		fanout := 1 + g.r.Intn(max(p.IndirectTargetsMax, 1))
 		for j := 0; j < fanout; j++ {
 			si.targets = append(si.targets, site())
 		}
@@ -333,11 +350,11 @@ func (g *Generator) buildProgram(base uint64) *program {
 		prog.indirects = append(prog.indirects, si)
 	}
 	// Direct call sites have one fixed callee each, like real code.
-	for i := 0; i < maxInt(p.StaticCallees, 1); i++ {
+	for i := 0; i < max(p.StaticCallees, 1); i++ {
 		prog.callees = append(prog.callees, site())
 		prog.callSites = append(prog.callSites, site())
 	}
-	for i := 0; i < maxInt(p.StaticJumps, 1); i++ {
+	for i := 0; i < max(p.StaticJumps, 1); i++ {
 		pc := site()
 		prog.jumps = append(prog.jumps, staticCond{pc: pc, target: site()})
 	}
@@ -350,7 +367,7 @@ func (g *Generator) buildProgram(base uint64) *program {
 // trace realistic code locality.
 func (g *Generator) buildRegions(prog *program) {
 	p := &g.p
-	nRegions := maxInt(4, p.StaticConds/8)
+	nRegions := max(4, p.StaticConds/8)
 	condZipf := rng.NewZipf(g.r, len(prog.conds), p.ZipfSkew)
 	indZipf := rng.NewZipf(g.r, len(prog.indirects), p.ZipfSkew)
 	// Slot-kind mixture from the dynamic mix fractions; rets mirror calls
@@ -361,7 +378,7 @@ func (g *Generator) buildRegions(prog *program) {
 		lenMean = 10
 	}
 	for i := 0; i < nRegions; i++ {
-		length := maxInt(3, lenMean/2) + g.r.Intn(lenMean)
+		length := max(3, lenMean/2) + g.r.Intn(lenMean)
 		seq := make([]slot, 0, length)
 		for j := 0; j < length; j++ {
 			u := g.r.Float64() * total
@@ -518,6 +535,12 @@ func (g *Generator) stepCond(prog *program, idx int) Record {
 			taken = !taken
 		}
 	}
+	if g.flipProb > 0 && g.r.Bool(g.flipProb) {
+		// Drift is a ground-truth change, not a predictor artifact: the
+		// flipped direction is what the program "did", so it feeds global
+		// history and the record's resolved target alike.
+		taken = !taken
+	}
 	g.pushOutcome(taken)
 	rec := Record{PC: sc.pc, Kind: KindCond, Taken: taken}
 	if taken {
@@ -590,11 +613,4 @@ func Generate(p Profile) (*Trace, error) {
 		return nil, err
 	}
 	return g.Generate(), nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -422,6 +422,7 @@ func TestProfileValidate(t *testing.T) {
 func BenchmarkGenerate(b *testing.B) {
 	p := testProfile("505.mcf", 100_000)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Generate(p); err != nil {
 			b.Fatal(err)
@@ -435,6 +436,7 @@ func BenchmarkCodecWrite(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var buf bytes.Buffer
 		if err := Write(&buf, tr); err != nil {

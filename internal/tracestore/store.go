@@ -36,9 +36,14 @@ type GenFunc func(name string, records int) (*trace.Trace, trace.Profile, error)
 // profile instead of regenerating the records.
 type ProfileFunc func(name string, records int) (trace.Profile, error)
 
-// PresetProfile is the default ProfileFunc: the named preset resized to
-// the requested record count — exactly the profile PresetGen returns.
+// PresetProfile is the default ProfileFunc: a registered runtime synth
+// (spec-driven workloads, trace.RegisterSynth) when one owns the name,
+// else the named preset resized to the requested record count —
+// exactly the profile PresetGen returns.
 func PresetProfile(name string, records int) (trace.Profile, error) {
+	if s, ok := trace.LookupSynth(name); ok {
+		return s.Profile(records)
+	}
 	p, err := trace.Preset(name)
 	if err != nil {
 		return trace.Profile{}, err
@@ -46,13 +51,28 @@ func PresetProfile(name string, records int) (trace.Profile, error) {
 	return p.WithRecords(records), nil
 }
 
-// PresetGen is the default generator: the named trace preset resized to
-// the requested record count.
+// PresetGen is the default generator: a registered runtime synth when
+// one owns the name, else the named trace preset resized to the
+// requested record count. Synth names embed a content hash (the spec
+// layer guarantees it), so the disk tier's (name, records) spill keys
+// stay collision-free for synth workloads too.
 func PresetGen(name string, records int) (*trace.Trace, trace.Profile, error) {
-	p, err := PresetProfile(name, records)
+	if s, ok := trace.LookupSynth(name); ok {
+		p, err := s.Profile(records)
+		if err != nil {
+			return nil, trace.Profile{}, err
+		}
+		tr, err := s.Generate(records)
+		if err != nil {
+			return nil, trace.Profile{}, err
+		}
+		return tr, p, nil
+	}
+	p, err := trace.Preset(name)
 	if err != nil {
 		return nil, trace.Profile{}, err
 	}
+	p = p.WithRecords(records)
 	tr, err := trace.Generate(p)
 	if err != nil {
 		return nil, trace.Profile{}, err

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
-# Perf-trend gate: run the replay-path and predictor micro-benchmarks,
-# write BENCH_7.json (benchmark -> ns/op, allocs/op), and fail when a
-# metric regresses against the committed baseline.
+# Perf-trend gate: run the replay-path, predictor, and trace-generator
+# micro-benchmarks, write BENCH_8.json (benchmark -> ns/op, allocs/op),
+# and fail when a metric regresses against the committed baseline.
 #
 # usage: scripts/bench_gate.sh [-update]
-#   -update    rewrite BENCH_7.json as the new baseline and skip the gate
+#   -update    rewrite BENCH_8.json as the new baseline and skip the gate
 #
 # env knobs:
 #   BENCH_GATE_BENCHTIME        go test -benchtime (default 0.3s)
@@ -20,6 +20,12 @@
 #   BENCH_GATE_ALLOC_THRESHOLD  max tolerated relative allocs/op growth
 #                               (default 0 — allocation counts are
 #                               deterministic, any increase fails)
+#   BENCH_GATE_ALLOC_SLACK      absolute allocs/op allowance on top of
+#                               the relative threshold (default 1 —
+#                               runtime-internal allocations during the
+#                               timed window leak ±1 into the memstats
+#                               delta on busy machines; a real leak
+#                               scales with the op and clears the slack)
 #
 # Benchmarks are keyed as <package>/<name> with the GOMAXPROCS suffix
 # stripped, so the file is stable across machines with different core
@@ -28,12 +34,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_7.json
+OUT=BENCH_8.json
 BENCHTIME="${BENCH_GATE_BENCHTIME:-0.3s}"
 COUNT="${BENCH_GATE_COUNT:-3}"
 NS_THR="${BENCH_GATE_NS_THRESHOLD:-0.10}"
 ALLOC_THR="${BENCH_GATE_ALLOC_THRESHOLD:-0}"
-PKGS=(./internal/sim/ ./internal/tage/ ./internal/perceptron/ ./internal/ittage/ ./internal/tracestore/)
+ALLOC_SLACK="${BENCH_GATE_ALLOC_SLACK:-1}"
+PKGS=(./internal/sim/ ./internal/tage/ ./internal/perceptron/ ./internal/ittage/ ./internal/tracestore/ ./internal/trace/)
 
 update=0
 if [ "${1:-}" = "-update" ]; then
@@ -107,7 +114,7 @@ fi
 
 printf '%s\n%s\n' "$baseline_tsv" "@@NEW@@" > /tmp/bench_gate_cmp.$$
 printf '%s\n' "$new_tsv" >> /tmp/bench_gate_cmp.$$
-fail=$(awk -F'\t' -v ns_thr="$NS_THR" -v alloc_thr="$ALLOC_THR" '
+fail=$(awk -F'\t' -v ns_thr="$NS_THR" -v alloc_thr="$ALLOC_THR" -v alloc_slack="$ALLOC_SLACK" '
   /^@@NEW@@$/ { phase = 1; next }
   NF < 3 { next }
   phase == 0 { base_ns[$1] = $2; base_allocs[$1] = $3; next }
@@ -120,8 +127,8 @@ fail=$(awk -F'\t' -v ns_thr="$NS_THR" -v alloc_thr="$ALLOC_THR" '
       printf "REGRESSED %-48s ns/op %s -> %s (+%.1f%%, limit +%.0f%%)\n", $1, bns, ns, (ns / bns - 1) * 100, ns_thr * 100
       bad = 1
     }
-    if (al > bal * (1 + alloc_thr)) {
-      printf "REGRESSED %-48s allocs/op %s -> %s (limit +%.0f%%)\n", $1, bal, al, alloc_thr * 100
+    if (al > bal * (1 + alloc_thr) + alloc_slack) {
+      printf "REGRESSED %-48s allocs/op %s -> %s (limit +%.0f%% +%d)\n", $1, bal, al, alloc_thr * 100, alloc_slack
       bad = 1
     }
   }
