@@ -22,6 +22,8 @@
 //	stbpu-suite -trace-dir ~/.cache/stbpu   # persist generated traces across runs
 //	stbpu-suite -trace-dir d -trace-mmap    # map spilled traces zero-copy (unix)
 //	stbpu-suite -trace-major=false          # model-major (ungrouped) scheduling
+//	stbpu-suite -snapshots=false            # force full warmup replay (no checkpoints)
+//	stbpu-suite -snap-dir ~/.cache/stbpu-snaps  # persist predictor checkpoints across runs
 //
 // With -backend exec the suite spawns `stbpu-suite -worker` subprocesses
 // that execute cell batches received as length-prefixed JSON frames on
@@ -53,6 +55,7 @@ import (
 
 	"stbpu/internal/experiments"
 	"stbpu/internal/harness"
+	"stbpu/internal/snapstore"
 	"stbpu/internal/trace/spec"
 	"stbpu/internal/tracestore"
 )
@@ -73,6 +76,12 @@ type suiteDoc struct {
 	// the coordinator's store sits idle: workers generate traces into
 	// their own process-local stores.
 	TraceStore tracestore.Stats `json:"trace_store"`
+	// SnapStore reports the warm-state checkpoint store's counters for
+	// the whole run (docs/SUITE_JSON.md). Like TraceStore, with -backend
+	// exec/remote the coordinator's store sits mostly idle: workers
+	// checkpoint into their own process-local stores (shared only
+	// through -snap-dir's disk tier).
+	SnapStore snapstore.Stats `json:"snap_store"`
 }
 
 // config carries the parsed CLI knobs; factored out so tests drive the
@@ -92,7 +101,16 @@ type config struct {
 	modelMajor bool
 	// traceMmap spills traces in the page-aligned STBT v2 layout and maps
 	// them read-only as columns instead of decoding (with -trace-dir).
-	traceMmap   bool
+	traceMmap bool
+	// snapshotsOff disables the warm-state snapshot tier. Stored inverted
+	// (like modelMajor) so a zero-value config keeps the default: on.
+	snapshotsOff bool
+	// snapBytes bounds the in-memory checkpoint store (<= 0 = default).
+	snapBytes int64
+	// snapDir enables the persistent checkpoint tier: phase-boundary
+	// predictor snapshots spill as .snap files and later runs (and
+	// workers sharing the directory) restore instead of replaying.
+	snapDir     string
 	backend     string // "local" (default), "exec", "mixed", or "remote"
 	execWorkers int
 	// execTimeout bounds one exec-worker batch; a worker that exceeds it
@@ -159,6 +177,11 @@ func buildBackend(cfg config) (harness.Backend, error) {
 				cmd = append(cmd, fmt.Sprintf("-workload-spec=%s", cfg.workloadSpec))
 			}
 			cmd = append(cmd, fmt.Sprintf("-trace-major=%t", !cfg.modelMajor))
+			cmd = append(cmd, fmt.Sprintf("-snapshots=%t", !cfg.snapshotsOff))
+			cmd = append(cmd, fmt.Sprintf("-snap-bytes=%d", cfg.snapBytes))
+			if cfg.snapDir != "" {
+				cmd = append(cmd, fmt.Sprintf("-snap-dir=%s", cfg.snapDir))
+			}
 		}
 		return &harness.ExecBackend{Command: cmd, Env: cfg.workerEnv, Workers: execWorkers, BatchTimeout: cfg.execTimeout}, nil
 	}
@@ -170,8 +193,10 @@ func buildBackend(cfg config) (harness.Backend, error) {
 		// fleet joined with bare `-worker -connect` matches the
 		// coordinator's configuration without per-worker flags.
 		traceMajor := !cfg.modelMajor
+		snapshots := !cfg.snapshotsOff
 		rb := &harness.RemoteBackend{Addr: cfg.listen, TraceDir: cfg.traceDir,
-			TraceMajor: &traceMajor, TraceMmap: &cfg.traceMmap}
+			TraceMajor: &traceMajor, TraceMmap: &cfg.traceMmap,
+			Snapshots: &snapshots, SnapDir: cfg.snapDir}
 		if cfg.workloadSpecDoc != "" {
 			// Remote workers may sit on other machines, so the spec
 			// travels by value in the welcome frame.
@@ -233,6 +258,14 @@ func runSuite(ctx context.Context, cfg config) (suiteDoc, error) {
 		}
 	}
 	pool.SetTraceStore(store)
+	pool.SetSnapshots(!cfg.snapshotsOff)
+	snaps := snapstore.New(cfg.snapBytes)
+	if cfg.snapDir != "" {
+		if err := snaps.SetDir(cfg.snapDir); err != nil {
+			return suiteDoc{}, fmt.Errorf("snap dir %s: %w", cfg.snapDir, err)
+		}
+	}
+	pool.SetSnapStore(snaps)
 	backend, err := buildBackend(cfg)
 	if err != nil {
 		return suiteDoc{}, err
@@ -294,6 +327,7 @@ func runSuite(ctx context.Context, cfg config) (suiteDoc, error) {
 		}
 	}
 	doc.TraceStore = store.Stats()
+	doc.SnapStore = snaps.Stats()
 	if journal != nil {
 		// A journal that stopped persisting must fail the run: the caller
 		// believes the file can resume this run, so a silent write failure
@@ -367,6 +401,9 @@ func run() error {
 		traceDir  = flag.String("trace-dir", "", "persistent trace tier: spill generated traces as STBT files here and decode them on later runs (shared with exec workers)")
 		traceMaj  = flag.Bool("trace-major", true, "group cells that share a trace and replay all their models in one pass over the resident columns (=false for model-major scheduling)")
 		traceMmap = flag.Bool("trace-mmap", false, "with -trace-dir: spill traces in the page-aligned STBT v2 layout and map them read-only instead of decoding (unix only; no-op elsewhere)")
+		snapsF    = flag.Bool("snapshots", true, "checkpoint predictor state at phase boundaries and restore it instead of replaying warmup prefixes (=false to force full replay; results are bit-identical)")
+		snapB     = flag.Int64("snap-bytes", snapstore.DefaultMaxBytes, "byte budget for the in-memory checkpoint store (<=0 = default budget)")
+		snapDir   = flag.String("snap-dir", "", "persistent checkpoint tier: spill phase-boundary predictor snapshots as .snap files here and restore them on later runs (shared with workers)")
 		backend   = flag.String("backend", "local", "cell execution backend: local, exec (subprocess workers), mixed, or remote (TCP worker fleet)")
 		execW     = flag.Int("exec-workers", 2, "subprocess worker count for -backend exec/mixed")
 		execTO    = flag.Duration("exec-timeout", 10*time.Minute, "kill an exec worker whose batch exceeds this and requeue the chunk (0 = no deadline)")
@@ -390,6 +427,8 @@ func run() error {
 			CacheBytes: *cacheB,
 			TraceDir:   *traceDir,
 			TraceMmap:  *traceMmap,
+			SnapBytes:  *snapB,
+			SnapDir:    *snapDir,
 		}
 		if *specF != "" {
 			s, err := spec.LoadFile(*specF)
@@ -398,11 +437,15 @@ func run() error {
 			}
 			opts.WorkloadSpecs = append(opts.WorkloadSpecs, string(s.Canonical()))
 		}
-		// Only an explicit -trace-major pins the worker's mode; left
-		// unset, a remote worker adopts the coordinator's welcome value.
+		// Only an explicit -trace-major/-snapshots pins the worker's
+		// mode; left unset, a remote worker adopts the coordinator's
+		// welcome value.
 		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "trace-major" {
+			switch f.Name {
+			case "trace-major":
 				opts.TraceMajor = traceMaj
+			case "snapshots":
+				opts.Snapshots = snapsF
 			}
 		})
 		if *connect != "" {
@@ -442,6 +485,9 @@ func run() error {
 		traceDir:     *traceDir,
 		modelMajor:   !*traceMaj,
 		traceMmap:    *traceMmap,
+		snapshotsOff: !*snapsF,
+		snapBytes:    *snapB,
+		snapDir:      *snapDir,
 		backend:      *backend,
 		execWorkers:  *execW,
 		execTimeout:  *execTO,

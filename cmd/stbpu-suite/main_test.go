@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"stbpu/internal/harness"
+	"stbpu/internal/snapstore"
 	"stbpu/internal/trace/spec"
 	"stbpu/internal/tracestore"
 )
@@ -286,6 +287,109 @@ func TestTraceMajorOffMatchesOn(t *testing.T) {
 	}
 }
 
+// snapConfig selects the scenarios that exercise the predictor-state
+// snapshot tier: the phase-structured workloads (checkpoint at phase
+// boundaries) and the warm-state curve (single-pass preset warmup).
+func snapConfig() config {
+	cfg := goldenConfig()
+	cfg.filters = []string{"workloads", "warmup"}
+	return cfg
+}
+
+// TestSnapshotsOffMatchesOn is the snapshot tier's suite-level
+// acceptance gate: checkpoint-restored warmup must be bit-identical to
+// full prefix replay — the tier buys time, never different physics.
+// Model-major scheduling makes every later-phase cell its own group, so
+// each joins mid-trace and restores a checkpoint; that run must match
+// both a model-major full-replay run and the trace-major default, and
+// must actually engage the tier, or the comparison passes vacuously.
+func TestSnapshotsOffMatchesOn(t *testing.T) {
+	mm := snapConfig()
+	mm.modelMajor = true
+	docOn, err := runSuite(context.Background(), mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := docOn.SnapStore; st.Puts == 0 || st.Hits == 0 {
+		t.Errorf("snapshot tier never engaged: %+v", st)
+	}
+	off := snapConfig()
+	off.modelMajor = true
+	off.snapshotsOff = true
+	docOff, err := runSuite(context.Background(), off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := docOff.SnapStore; st.Puts != 0 || st.Hits != 0 {
+		t.Errorf("-snapshots=false still touched the tier: %+v", st)
+	}
+	docTM, err := runSuite(context.Background(), snapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalizePlacement(&docOn)
+	normalizePlacement(&docOff)
+	normalizePlacement(&docTM)
+	ref := docBytes(t, docOn)
+	if !bytes.Equal(ref, docBytes(t, docOff)) {
+		t.Error("snapshot-restored suite output diverges from full replay")
+	}
+	if !bytes.Equal(ref, docBytes(t, docTM)) {
+		t.Error("model-major snapshot run diverges from the trace-major default")
+	}
+}
+
+// TestSnapDirSecondRunHitsDisk pins the checkpoint disk tier end to
+// end: a first run spills .snap files, and a second process restores
+// them. The second run squeezes the in-memory store to one byte so
+// every restore must come off disk — without that, its own puts would
+// satisfy the gets from memory and the disk path would go untested.
+// All runs, plus a full-replay run, must be byte-identical modulo store
+// counters.
+func TestSnapDirSecondRunHitsDisk(t *testing.T) {
+	dir := t.TempDir()
+	cfg := snapConfig()
+	cfg.snapDir = dir
+
+	first, err := runSuite(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := first.SnapStore; st.DiskWrites == 0 {
+		t.Fatalf("first run spilled no checkpoints: %+v", st)
+	}
+
+	warm := snapConfig()
+	warm.snapDir = dir
+	warm.modelMajor = true
+	warm.snapBytes = 1
+	second, err := runSuite(context.Background(), warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := second.SnapStore; st.DiskHits == 0 {
+		t.Fatalf("second run did not restore from disk: %+v", st)
+	}
+
+	bare := snapConfig()
+	bare.snapshotsOff = true
+	replay, err := runSuite(context.Background(), bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	normalizePlacement(&first)
+	normalizePlacement(&second)
+	normalizePlacement(&replay)
+	ref := docBytes(t, first)
+	if !bytes.Equal(ref, docBytes(t, second)) {
+		t.Error("disk-restored run diverges from the spilling run")
+	}
+	if !bytes.Equal(ref, docBytes(t, replay)) {
+		t.Error("snapshot-tier runs diverge from full replay")
+	}
+}
+
 // TestMmapTierMatchesDecode pins the zero-copy tier's contract through
 // the whole suite: a cold run that spills STBT v2 files, a warm run
 // that maps them, and a plain-decode run over the same directory must
@@ -384,12 +488,79 @@ func TestRemoteFleetTraceTierMatchesLocal(t *testing.T) {
 	}
 }
 
+// TestRemoteFleetSnapshotTierMatchesLocal runs the snapshot scenarios
+// on a two-worker loopback fleet with a shared checkpoint directory.
+// Workers join with empty options and adopt the snapshot mode and snap
+// dir from the welcome frame — their spilled .snap files prove the
+// adoption — and the fleet document must be byte-identical to both the
+// local snapshot run and a local full-replay run.
+func TestRemoteFleetSnapshotTierMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a TCP worker fleet")
+	}
+	docLocal, err := runSuite(context.Background(), snapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayCfg := snapConfig()
+	replayCfg.snapshotsOff = true
+	docReplay, err := runSuite(context.Background(), replayCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	remote := snapConfig()
+	remote.backend = "remote"
+	remote.listen = "127.0.0.1:0"
+	remote.snapDir = dir
+	addrCh := make(chan string, 1)
+	remote.listenReady = func(addr string) { addrCh <- addr }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var workers sync.WaitGroup
+	workers.Add(2)
+	go func() {
+		addr := <-addrCh
+		for i := 0; i < 2; i++ {
+			go func() {
+				defer workers.Done()
+				_ = harness.ServeRemoteWorker(ctx, addr, harness.WorkerOptions{Workers: 1})
+			}()
+		}
+	}()
+	docRemote, err := runSuite(context.Background(), remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	workers.Wait()
+
+	if spills, err := filepath.Glob(filepath.Join(dir, "*.snap")); err != nil || len(spills) == 0 {
+		t.Errorf("fleet workers spilled no checkpoints to the shared dir (%v, %v)", spills, err)
+	}
+
+	normalizePlacement(&docLocal)
+	normalizePlacement(&docReplay)
+	normalizePlacement(&docRemote)
+	ref := docBytes(t, docLocal)
+	if !bytes.Equal(ref, docBytes(t, docRemote)) {
+		t.Error("fleet + snapshot-tier suite output diverges from local")
+	}
+	if !bytes.Equal(ref, docBytes(t, docReplay)) {
+		t.Error("snapshot-tier output diverges from full replay")
+	}
+}
+
 // normalizePlacement zeroes the blocks that legitimately differ when
 // the same cells run in different places (or not at all, on resume):
-// per-backend stats and the coordinator's trace-store counters.
+// per-backend stats and the coordinator's trace-store and snap-store
+// counters.
 func normalizePlacement(doc *suiteDoc) {
 	doc.Backends = nil
 	doc.TraceStore = tracestore.Stats{}
+	doc.SnapStore = snapstore.Stats{}
 }
 
 func docBytes(t *testing.T, doc suiteDoc) []byte {

@@ -1,0 +1,155 @@
+package bpu
+
+// Snapshot support for the warm-state checkpoint tier (internal/snapstore,
+// sim.Snapshotter): every Unit component can be deep-cloned for forking
+// and round-tripped through the deterministic snap codec. Lookup stash
+// fields (SKLCond's last* indices) are dead between records — Update
+// always directly follows its Predict — so clones and decoded snapshots
+// reset them to zero, giving every capture of the same logical state an
+// identical canonical encoding.
+
+import "stbpu/internal/snap"
+
+// Clone returns a deep copy of the BTB, including LRU clock and the
+// eviction counter (STBPU's threshold monitoring must continue
+// seamlessly from a fork).
+func (b *BTB) Clone() *BTB {
+	nb := &BTB{cfg: b.cfg, clock: b.clock, Evictions: b.Evictions}
+	nb.entries = append([]btbEntry(nil), b.entries...)
+	return nb
+}
+
+// EncodeState appends the BTB's mutable state to w.
+func (b *BTB) EncodeState(w *snap.Writer) {
+	w.Len(len(b.entries))
+	for i := range b.entries {
+		e := &b.entries[i]
+		w.Bool(e.valid)
+		w.U32(e.tag)
+		w.U32(e.offs)
+		w.U32(e.target)
+		w.U64(e.fullPC)
+		w.U32(e.lru)
+	}
+	w.U32(b.clock)
+	w.U64(b.Evictions)
+}
+
+// DecodeState restores state encoded by EncodeState; the geometry must
+// match the live table.
+func (b *BTB) DecodeState(r *snap.Reader) {
+	r.LenExact(len(b.entries))
+	for i := range b.entries {
+		e := &b.entries[i]
+		e.valid = r.Bool()
+		e.tag = r.U32()
+		e.offs = r.U32()
+		e.target = r.U32()
+		e.fullPC = r.U64()
+		e.lru = r.U32()
+	}
+	b.clock = r.U32()
+	b.Evictions = r.U64()
+}
+
+// Clone returns a deep copy of the return stack.
+func (r *RSB) Clone() *RSB {
+	nr := &RSB{top: r.top, depth: r.depth, Underflows: r.Underflows}
+	nr.entries = append([]uint32(nil), r.entries...)
+	return nr
+}
+
+// EncodeState appends the RSB's mutable state to w.
+func (r *RSB) EncodeState(w *snap.Writer) {
+	w.U32s(r.entries)
+	w.Int(r.top)
+	w.Int(r.depth)
+	w.U64(r.Underflows)
+}
+
+// DecodeState restores state encoded by EncodeState.
+func (r *RSB) DecodeState(sr *snap.Reader) {
+	sr.U32sInto(r.entries)
+	r.top = sr.Int()
+	r.depth = sr.Int()
+	if sr.Err() == nil && (r.top < 0 || r.top >= len(r.entries) || r.depth < 0 || r.depth > len(r.entries)) {
+		r.top, r.depth = 0, 0
+	}
+	r.Underflows = sr.U64()
+}
+
+// EncodeState appends the history registers to w.
+func (h *History) EncodeState(w *snap.Writer) {
+	w.U64(h.GHR)
+	w.U64(h.BHB)
+}
+
+// DecodeState restores the history registers.
+func (h *History) DecodeState(r *snap.Reader) {
+	h.GHR = r.U64()
+	h.BHB = r.U64()
+}
+
+// encodeTo appends the counter table to w.
+func (p *PHT) encodeTo(w *snap.Writer) { w.U8s(p.counters) }
+
+// decodeFrom restores the counter table; sizes must match.
+func (p *PHT) decodeFrom(r *snap.Reader) { r.U8sInto(p.counters) }
+
+// CloneWith returns a deep copy of the predictor addressed through m
+// (forks re-point keyed mappers at the fork's own key state). The
+// lookup stash is reset: it is dead between records.
+func (s *SKLCond) CloneWith(m Mapper) *SKLCond {
+	ns := NewSKLCond(m)
+	copy(ns.pht.counters, s.pht.counters)
+	copy(ns.chooser.counters, s.chooser.counters)
+	ns.hist = s.hist
+	return ns
+}
+
+// EncodeState appends the predictor's mutable state to w.
+func (s *SKLCond) EncodeState(w *snap.Writer) {
+	s.pht.encodeTo(w)
+	s.chooser.encodeTo(w)
+	s.hist.EncodeState(w)
+}
+
+// DecodeState restores state encoded by EncodeState, resetting the
+// lookup stash.
+func (s *SKLCond) DecodeState(r *snap.Reader) {
+	s.pht.decodeFrom(r)
+	s.chooser.decodeFrom(r)
+	s.hist.DecodeState(r)
+	s.lastIdx1, s.lastIdx2, s.lastChoice = 0, 0, 0
+}
+
+// Clone returns a deep copy of the Unit built from already-cloned
+// components: the caller supplies the fork's mapper, direction
+// predictor, and indirect predictor (nil when the unit has none), since
+// their cloning is owned by whoever wired the originals together.
+func (u *Unit) Clone(m Mapper, dir DirectionPredictor, indirect IndirectPredictor) *Unit {
+	return &Unit{
+		mapper:   m,
+		dir:      dir,
+		btb:      u.btb.Clone(),
+		rsb:      u.rsb.Clone(),
+		indirect: indirect,
+		hist:     u.hist,
+	}
+}
+
+// EncodeState appends the Unit's own mutable state (BTB, RSB, history)
+// to w. The direction and indirect predictors encode themselves — they
+// are owned by the model that wired them in.
+func (u *Unit) EncodeState(w *snap.Writer) {
+	u.btb.EncodeState(w)
+	u.rsb.EncodeState(w)
+	u.hist.EncodeState(w)
+}
+
+// DecodeState restores state encoded by EncodeState.
+func (u *Unit) DecodeState(r *snap.Reader) {
+	u.btb.DecodeState(r)
+	u.rsb.DecodeState(r)
+	u.hist.DecodeState(r)
+}

@@ -13,10 +13,13 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 
 	"stbpu/internal/harness"
 	"stbpu/internal/results"
 	"stbpu/internal/sim"
+	"stbpu/internal/stats"
+	"stbpu/internal/trace"
 )
 
 // WarmupPoint is one trace-length measurement.
@@ -58,6 +61,18 @@ func RunWarmup(workload string, lengths []int) (WarmupResult, error) {
 
 // RunWarmupCtx measures the curve, sharding (length × model) cells.
 // p.Workload names the trace preset; p.Sweep carries the trace lengths.
+//
+// Preset workloads generate prefix-stable traces (the l-record trace is
+// the prefix of any longer one — pinned by trace's prefix-stability
+// test), so the whole curve collapses into ONE trace-major group: each
+// model replays the longest trace once, and every shorter length's OAE
+// is read off the cumulative misprediction count at that record
+// boundary — counters are additive, so the cumulative sums are
+// bit-identical to a cold run of each prefix. That turns the old
+// quadratic warmup replay (every length re-replays its shared prefix)
+// into a single O(maxLen) pass per model. Spec-synth workloads rescale
+// their phase boundaries with the record budget and are NOT
+// prefix-stable, so they keep the per-length grouping.
 func RunWarmupCtx(ctx context.Context, p harness.Params, pool *harness.Pool) (WarmupResult, error) {
 	lengths := make([]int, 0, len(p.Sweep))
 	for _, l := range p.Sweep {
@@ -70,11 +85,20 @@ func RunWarmupCtx(ctx context.Context, p harness.Params, pool *harness.Pool) (Wa
 	kinds := sim.Fig3Kinds()
 	cache := pool.Traces()
 	k := len(kinds)
-	// Trace-major: cells group by trace length — each prefix length is
-	// its own resident trace shared by all five models.
-	oaes, err := harness.MapTraceMajor(ctx, pool, "warmup", len(lengths)*k,
-		func(shard int) int { return shard / k },
-		func(ctx context.Context, shards []int, seeds []uint64) ([]float64, error) {
+	rootSeed := harness.DefaultRootSeed
+	if pool != nil {
+		rootSeed = pool.RootSeed()
+	}
+	_, synth := trace.LookupSynth(p.Workload)
+
+	// Trace-major grouping: prefix-stable presets share one group (one
+	// resident trace, one pass per model); synths group by trace length.
+	key := func(int) int { return 0 }
+	if synth {
+		key = func(shard int) int { return shard / k }
+	}
+	run := func(ctx context.Context, shards []int, seeds []uint64) ([]float64, error) {
+		if synth {
 			cols, prof, err := cache.GetColumns(p.Workload, lengths[shards[0]/k])
 			if err != nil {
 				return nil, err
@@ -92,7 +116,93 @@ func RunWarmupCtx(ctx context.Context, p harness.Params, pool *harness.Pool) (Wa
 				out[i] = r.OAE()
 			}
 			return out, nil
-		})
+		}
+
+		// Single-pass path. Boundaries are the sorted unique lengths;
+		// each model replays the inter-boundary segments once, and a
+		// cell (length, model) reads the cumulative mispredictions when
+		// its boundary is crossed. Seeds derive from the model's
+		// length-0 shard (one model instance serves every length).
+		maxLen := 0
+		for _, l := range lengths {
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+		cols, prof, err := cache.GetColumns(p.Workload, maxLen)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(shards))
+		type mrun struct {
+			ki      int
+			m       sim.Model
+			misp    uint64
+			maxWant int
+			want    map[int][]int // length → positions in shards/out
+		}
+		byKi := map[int]*mrun{}
+		var runs []*mrun
+		for i, shard := range shards {
+			li, ki := shard/k, shard%k
+			mr := byKi[ki]
+			if mr == nil {
+				mr = &mrun{ki: ki, want: map[int][]int{}}
+				byKi[ki] = mr
+				runs = append(runs, mr)
+			}
+			l := lengths[li]
+			mr.want[l] = append(mr.want[l], i)
+			if l > mr.maxWant {
+				mr.maxWant = l
+			}
+		}
+		sort.Slice(runs, func(a, b int) bool { return runs[a].ki < runs[b].ki })
+		for _, mr := range runs {
+			mr.m = sim.New(kinds[mr.ki], sim.Options{SharedTokens: prof.SharedTokens,
+				Seed: harness.ShardSeed(rootSeed, "warmup", mr.ki)})
+		}
+		bounds := append([]int{0}, lengths...)
+		sort.Ints(bounds)
+		uniq := bounds[:1]
+		for _, b := range bounds[1:] {
+			if b != uniq[len(uniq)-1] {
+				uniq = append(uniq, b)
+			}
+		}
+		emit := func(mr *mrun, l int) {
+			for _, i := range mr.want[l] {
+				out[i] = 1 - stats.Ratio(mr.misp, uint64(l))
+			}
+		}
+		for _, mr := range runs {
+			emit(mr, 0) // degenerate zero-length cells, if any
+		}
+		for j := 0; j+1 < len(uniq); j++ {
+			lo, hi := uniq[j], uniq[j+1]
+			var active []*mrun
+			var models []sim.Model
+			for _, mr := range runs {
+				if mr.maxWant > lo {
+					active = append(active, mr)
+					models = append(models, mr.m)
+				}
+			}
+			if len(active) == 0 {
+				break
+			}
+			rs, err := sim.RunColumnsMulti(ctx, models, cols.Slice(lo, hi))
+			if err != nil {
+				return nil, err
+			}
+			for idx, mr := range active {
+				mr.misp += rs[idx].Mispredicts
+				emit(mr, hi)
+			}
+		}
+		return out, nil
+	}
+	oaes, err := harness.MapTraceMajor(ctx, pool, "warmup", len(lengths)*k, key, run)
 	if err != nil {
 		return WarmupResult{}, err
 	}

@@ -10,19 +10,31 @@ package experiments
 //
 // Every (spec, phase, model) triple is one cell, grouped trace-major
 // by spec so all cells of a spec share one resident trace. A phase
-// cell replays the trace prefix [0, phaseStart) to warm the model
-// exactly as an uninterrupted run would, then measures over
-// [phaseStart, phaseEnd): each cell is a pure function of its address
-// and seed, which keeps grouping, backends, and resume byte-identical.
+// cell's measurement is defined as: warm the model over the trace
+// prefix [0, phaseStart) exactly as an uninterrupted run would, then
+// measure over [phaseStart, phaseEnd). The snapshot tier executes that
+// definition without the quadratic prefix replay: within a group, each
+// model advances through the phase segments once (chunked incremental
+// replay is bit-identical to prefix replay — the model carries all
+// flush state and the windowed switch accounting never crosses calls),
+// every phase boundary is checkpointed into the pool's snapstore, and a
+// model that joins mid-trace (a worker executing a phase subset, a
+// resumed run) restores the boundary checkpoint instead of replaying
+// the prefix. Cell seeds derive from the model's phase-0 shard, so a
+// cell remains a pure function of its address and seed — grouping,
+// backends, snapshots on or off, and resume all stay byte-identical.
 
 import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
+	"unicode/utf8"
 
 	"stbpu/internal/harness"
 	"stbpu/internal/results"
 	"stbpu/internal/sim"
+	"stbpu/internal/snapstore"
 	"stbpu/internal/trace/spec"
 )
 
@@ -95,49 +107,146 @@ func RunWorkloadsCtx(ctx context.Context, p harness.Params, pool *harness.Pool) 
 	k := len(kinds)
 	type addr struct{ si, pi, ki int }
 	var addrs []addr
+	// specBase[si] is the shard index of (si, phase 0, model 0): every
+	// phase cell of a (spec, model) pair seeds from its phase-0 shard,
+	// so one warm model serves all phases and forked/restored state is
+	// bit-identical to prefix replay.
+	specBase := make([]int, len(specs))
 	for si, s := range specs {
+		specBase[si] = len(addrs)
 		for pi := range s.Phases {
 			for ki := 0; ki < k; ki++ {
 				addrs = append(addrs, addr{si, pi, ki})
 			}
 		}
 	}
+	rootSeed := harness.DefaultRootSeed
+	if pool != nil {
+		rootSeed = pool.RootSeed()
+	}
 	cache := pool.Traces()
 	cells, err := harness.MapTraceMajor(ctx, pool, "workloads", len(addrs),
 		func(shard int) int { return addrs[shard].si },
-		func(ctx context.Context, shards []int, seeds []uint64) ([]workloadCell, error) {
-			s := specs[addrs[shards[0]].si]
+		func(ctx context.Context, shards []int, _ []uint64) ([]workloadCell, error) {
+			si := addrs[shards[0]].si
+			s := specs[si]
 			records := specRecords(p, s)
-			cols, prof, err := cache.GetColumns(s.WorkloadName(), records)
+			wl := s.WorkloadName()
+			cols, prof, err := cache.GetColumns(wl, records)
 			if err != nil {
 				return nil, err
 			}
 			bounds := s.Boundaries(records)
 			out := make([]workloadCell, len(shards))
+
+			useSnaps := pool.SnapshotsOn()
+			var snaps *snapstore.Store
+			if useSnaps {
+				snaps = pool.Snaps()
+			}
+
+			// One run per model kind present in the group; shards arrive
+			// ascending, so each model's wanted phases are ascending too.
+			type mrun struct {
+				ki      int
+				phases  []int // positions in shards/out, ascending phase
+				m       sim.Model
+				snapper sim.Snapshotter
+				fp      string
+				pos     int // records already replayed
+				lastHi  int // end of the last wanted phase
+				next    int // index into phases
+				warm    sim.Result
+			}
+			byKi := map[int]*mrun{}
+			var runs []*mrun
 			for i, shard := range shards {
 				a := addrs[shard]
-				lo, hi := bounds[a.pi], bounds[a.pi+1]
-				m := sim.New(kinds[a.ki], sim.Options{SharedTokens: prof.SharedTokens, Seed: seeds[i]})
-				var warm sim.Result
-				if lo > 0 {
-					// Warm the model over the prefix so the phase sees
-					// exactly the predictor state an uninterrupted run
-					// would carry in.
-					warm, err = sim.RunColumnsCtx(ctx, m, cols.Slice(0, lo))
-					if err != nil {
-						return nil, err
+				mr := byKi[a.ki]
+				if mr == nil {
+					mr = &mrun{ki: a.ki}
+					byKi[a.ki] = mr
+					runs = append(runs, mr)
+				}
+				mr.phases = append(mr.phases, i)
+			}
+			sort.Slice(runs, func(a, b int) bool { return runs[a].ki < runs[b].ki })
+			for _, mr := range runs {
+				seed := harness.ShardSeed(rootSeed, "workloads", specBase[si]+mr.ki)
+				opt := sim.Options{SharedTokens: prof.SharedTokens, Seed: seed}
+				mr.m = sim.New(kinds[mr.ki], opt)
+				mr.snapper, _ = mr.m.(sim.Snapshotter)
+				mr.fp = sim.Fingerprint(kinds[mr.ki], opt)
+				mr.lastHi = bounds[addrs[shards[mr.phases[len(mr.phases)-1]]].pi+1]
+				// A model whose first wanted phase starts mid-trace
+				// restores the boundary checkpoint instead of replaying
+				// the prefix — the snapshot tier's whole point.
+				firstLo := bounds[addrs[shards[mr.phases[0]]].pi]
+				if useSnaps && mr.snapper != nil && firstLo > 0 {
+					key := snapstore.Key{Model: mr.fp, Workload: wl, Records: records, Offset: firstLo}
+					if data, ok := snaps.Get(key); ok {
+						if err := mr.snapper.DecodeState(data); err == nil {
+							mr.pos = firstLo
+						} else {
+							// A checkpoint that passed the store's checksum
+							// but fails model decode (foreign or stale
+							// bytes): discard the half-restored model and
+							// fall back to replay.
+							mr.m = sim.New(kinds[mr.ki], opt)
+							mr.snapper, _ = mr.m.(sim.Snapshotter)
+						}
 					}
 				}
-				res, err := sim.RunColumnsCtx(ctx, m, cols.Slice(lo, hi))
+			}
+
+			// Walk the phase segments in order; every model whose span
+			// covers a segment replays it exactly once, all models of the
+			// group sharing one resident pass per segment. Models joining
+			// at a later boundary and models already past their last
+			// wanted phase simply sit the segment out.
+			for pi := 0; pi+1 < len(bounds); pi++ {
+				lo, hi := bounds[pi], bounds[pi+1]
+				var active []*mrun
+				var models []sim.Model
+				for _, mr := range runs {
+					if mr.pos == lo && lo < mr.lastHi {
+						active = append(active, mr)
+						models = append(models, mr.m)
+					}
+				}
+				if len(active) == 0 {
+					continue
+				}
+				for _, mr := range active {
+					// Finalize counters are cumulative over the model's
+					// life; capture them at the boundary so the phase's
+					// own contribution is the delta.
+					mr.warm = sim.Result{}
+					if f, ok := mr.m.(sim.Finalizer); ok {
+						f.Finalize(&mr.warm)
+					}
+				}
+				rs, err := sim.RunColumnsMulti(ctx, models, cols.Slice(lo, hi))
 				if err != nil {
 					return nil, err
 				}
-				// Finalize counters are cumulative over the model's
-				// life; the phase's own contribution is the delta past
-				// the warmup run.
-				out[i] = workloadCell{
-					OAE:     res.OAE(),
-					Rerands: res.Rerandomizations - warm.Rerandomizations,
+				for j, mr := range active {
+					mr.pos = hi
+					if mr.next < len(mr.phases) {
+						i := mr.phases[mr.next]
+						if addrs[shards[i]].pi == pi {
+							res := rs[j]
+							out[i] = workloadCell{
+								OAE:     res.OAE(),
+								Rerands: res.Rerandomizations - mr.warm.Rerandomizations,
+							}
+							mr.next++
+						}
+					}
+					if useSnaps && mr.snapper != nil && hi < records {
+						key := snapstore.Key{Model: mr.fp, Workload: wl, Records: records, Offset: hi}
+						snaps.Put(key, mr.snapper.EncodeState())
+					}
 				}
 			}
 			return out, nil
@@ -187,7 +296,14 @@ func (r WorkloadsResult) Render(w io.Writer) {
 	for _, row := range r.Rows {
 		label := row.Spec + "/" + row.Phase
 		if len(label) > 30 {
-			label = label[len(label)-30:]
+			// Truncate on a rune boundary: a byte-indexed cut can split a
+			// multi-byte rune in a user-supplied spec name and emit a
+			// mangled replacement character.
+			cut := len(label) - 30
+			for cut < len(label) && !utf8.RuneStart(label[cut]) {
+				cut++
+			}
+			label = label[cut:]
 		}
 		g.Row(w, label, results.Cells("%18.4f", row.Normalized...)...)
 	}

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"stbpu/internal/snapstore"
 	"stbpu/internal/trace/spec"
 	"stbpu/internal/tracestore"
 )
@@ -500,6 +501,18 @@ type WorkerOptions struct {
 	// TraceMmap switches the worker's disk tier into zero-copy mmap
 	// mode (tracestore.Store.SetMapped). Only meaningful with TraceDir.
 	TraceMmap bool
+	// Snapshots toggles the warm-state snapshot tier in the worker's
+	// capture runs (nil means the default, on). Pure acceleration:
+	// results are bit-identical either way.
+	Snapshots *bool
+	// SnapBytes bounds the worker's process-local checkpoint store
+	// (<= 0 means snapstore.DefaultMaxBytes).
+	SnapBytes int64
+	// SnapDir, when nonempty, points the worker's checkpoint store at
+	// the shared persistent tier (snapstore.SetDir): workers restore
+	// warm predictor state another process already computed instead of
+	// replaying warmup prefixes.
+	SnapDir string
 	// WorkloadSpecs holds raw JSON workload-spec documents
 	// (internal/trace/spec) to register before serving cells, so the
 	// worker resolves the same spec workload names the coordinator
@@ -527,6 +540,33 @@ func (o WorkerOptions) traceMajorOn() bool {
 	return o.TraceMajor == nil || *o.TraceMajor
 }
 
+// snapshotsOn resolves the tri-state flag (nil = default on).
+func (o WorkerOptions) snapshotsOn() bool {
+	return o.Snapshots == nil || *o.Snapshots
+}
+
+// cellEnv bundles the per-process execution environment capture runs
+// inherit: the stores cells share and the scheduling/acceleration
+// toggles, none of which may change results.
+type cellEnv struct {
+	workers    int
+	store      *tracestore.Store
+	snaps      *snapstore.Store
+	traceMajor bool
+	snapshots  bool
+}
+
+// cellEnvFor builds the env a serving worker uses for every batch.
+func cellEnvFor(opts WorkerOptions, store *tracestore.Store, snaps *snapstore.Store) cellEnv {
+	return cellEnv{
+		workers:    opts.Workers,
+		store:      store,
+		snaps:      snaps,
+		traceMajor: opts.traceMajorOn(),
+		snapshots:  opts.snapshotsOn(),
+	}
+}
+
 // ServeWorker runs the worker loop: read a CellSpec batch frame, execute
 // it, write the CellResult frame, until EOF on r. Workload traces come
 // from one process-local store that persists across batches.
@@ -540,6 +580,11 @@ func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, opts WorkerOptio
 	if err != nil {
 		return err
 	}
+	snaps, err := newWorkerSnapStore(opts)
+	if err != nil {
+		return err
+	}
+	env := cellEnvFor(opts, store, snaps)
 	for {
 		var req workerRequest
 		if err := readFrame(br, &req); err != nil {
@@ -549,7 +594,7 @@ func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, opts WorkerOptio
 			return fmt.Errorf("worker: read request: %w", err)
 		}
 		var resp workerResponse
-		results, err := executeCells(ctx, req.Cells, opts.Workers, store, opts.traceMajorOn())
+		results, err := executeCells(ctx, req.Cells, env)
 		if err != nil {
 			resp.Err = err.Error()
 			resp.Permanent = errors.Is(err, ErrPermanent)
@@ -578,6 +623,19 @@ func newWorkerStore(opts WorkerOptions) (*tracestore.Store, error) {
 	return store, nil
 }
 
+// newWorkerSnapStore builds the process-local checkpoint store a worker
+// executes cells against, wiring the persistent disk tier when
+// configured.
+func newWorkerSnapStore(opts WorkerOptions) (*snapstore.Store, error) {
+	snaps := snapstore.New(opts.SnapBytes)
+	if opts.SnapDir != "" {
+		if err := snaps.SetDir(opts.SnapDir); err != nil {
+			return nil, fmt.Errorf("worker: snap dir %s: %w", opts.SnapDir, err)
+		}
+	}
+	return snaps, nil
+}
+
 // errCellsCaptured aborts a scenario Run once the capture backend has
 // executed every requested shard; the decomposition after the Map call
 // never runs on the worker (aggregation happens on the coordinator).
@@ -589,12 +647,12 @@ var errCellsCaptured = errors.New("harness: requested cells captured")
 // requested shards on a workers-wide local pool. Results come back in
 // wire form, ready to frame.
 func ExecuteCells(ctx context.Context, specs []CellSpec, workers int, store *tracestore.Store) ([]CellResult, error) {
-	return executeCells(ctx, specs, workers, store, true)
+	return executeCells(ctx, specs, cellEnv{workers: workers, store: store, traceMajor: true, snapshots: true})
 }
 
-// executeCells is ExecuteCells with the capture pools' trace-major flag
-// explicit (workers plumb it from WorkerOptions).
-func executeCells(ctx context.Context, specs []CellSpec, workers int, store *tracestore.Store, traceMajor bool) ([]CellResult, error) {
+// executeCells is ExecuteCells with the capture pools' full environment
+// explicit (serving workers plumb it from WorkerOptions).
+func executeCells(ctx context.Context, specs []CellSpec, env cellEnv) ([]CellResult, error) {
 	type groupKey struct {
 		scenario, scope, params string
 		root                    uint64
@@ -631,7 +689,7 @@ func executeCells(ctx context.Context, specs []CellSpec, workers int, store *tra
 		if !ok {
 			return nil, fmt.Errorf("scenario %q is not registered in this worker", k.scenario)
 		}
-		results, err := captureScenarioCells(ctx, scen, group, workers, store, traceMajor)
+		results, err := captureScenarioCells(ctx, scen, group, env)
 		if err != nil {
 			return nil, err
 		}
@@ -642,18 +700,22 @@ func executeCells(ctx context.Context, specs []CellSpec, workers int, store *tra
 
 // captureScenarioCells re-runs one scenario's decomposition and captures
 // the requested shards of the requested scope.
-func captureScenarioCells(ctx context.Context, scen Scenario, group []CellSpec, workers int, store *tracestore.Store, traceMajor bool) ([]CellResult, error) {
+func captureScenarioCells(ctx context.Context, scen Scenario, group []CellSpec, env cellEnv) ([]CellResult, error) {
 	scope := group[0].Scope
 	params := group[0].Params
 	want := make(map[int]bool, len(group))
 	for _, s := range group {
 		want[s.Shard] = true
 	}
-	cap := &captureBackend{scope: scope, want: want, inner: NewLocalBackend(workers)}
-	pool := NewPool(workers, group[0].RootSeed)
-	pool.SetTraceMajor(traceMajor)
-	if store != nil {
-		pool.SetTraceStore(store)
+	cap := &captureBackend{scope: scope, want: want, inner: NewLocalBackend(env.workers)}
+	pool := NewPool(env.workers, group[0].RootSeed)
+	pool.SetTraceMajor(env.traceMajor)
+	pool.SetSnapshots(env.snapshots)
+	if env.store != nil {
+		pool.SetTraceStore(env.store)
+	}
+	if env.snaps != nil {
+		pool.SetSnapStore(env.snaps)
 	}
 	pool.SetBackend(cap)
 	// Let the scenario's own MapTraceMajor call group only the shards

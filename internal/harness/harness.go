@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"stbpu/internal/rng"
+	"stbpu/internal/snapstore"
 	"stbpu/internal/tracestore"
 )
 
@@ -135,6 +136,7 @@ type Pool struct {
 	observer func(Cell)
 	sink     Sink
 	traces   *tracestore.Store
+	snaps    *snapstore.Store
 	backend  Backend
 	// scenario/params are the scenario context RunAll (or a worker's
 	// capture run) establishes around Scenario.Run, stamped into every
@@ -144,15 +146,22 @@ type Pool struct {
 	// modelMajor disables trace-major grouping (see SetTraceMajor;
 	// stored inverted so the zero-value pool defaults to trace-major).
 	modelMajor bool
+	// snapshotsOff disables the warm-state snapshot tier (see
+	// SetSnapshots; stored inverted so the zero-value pool defaults to
+	// snapshots on).
+	snapshotsOff bool
 
 	cells atomic.Uint64
 }
 
 // sharedTraceStore backs Traces for nil pools (harness.Map's "no pool"
 // convenience path), so even ad-hoc runs share one process-wide cache.
+// sharedSnapStore is its snapshot-tier twin.
 var (
 	sharedTraceStoreOnce sync.Once
 	sharedTraceStore     *tracestore.Store
+	sharedSnapStoreOnce  sync.Once
+	sharedSnapStore      *snapstore.Store
 )
 
 // SetTraceStore installs the cross-run trace store scenario cells share
@@ -181,6 +190,57 @@ func (p *Pool) Traces() *tracestore.Store {
 		p.traces = tracestore.New(0, nil)
 	}
 	return p.traces
+}
+
+// SetSnapStore installs the checkpoint store scenario cells share for
+// the warm-state snapshot tier (nil reverts to lazy default creation).
+// Call before running scenarios.
+func (p *Pool) SetSnapStore(s *snapstore.Store) {
+	p.mu.Lock()
+	p.snaps = s
+	p.mu.Unlock()
+}
+
+// Snaps returns the pool's shared checkpoint store, lazily creating one
+// with the default byte budget. Scenarios capture warm predictor state
+// at phase boundaries through it, so a phase measurement restores a
+// checkpoint instead of replaying its whole warmup prefix; because
+// snapshots are deterministic encodings of deterministic replay, sharing
+// cannot perturb results.
+func (p *Pool) Snaps() *snapstore.Store {
+	if p == nil {
+		sharedSnapStoreOnce.Do(func() {
+			sharedSnapStore = snapstore.New(0)
+		})
+		return sharedSnapStore
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.snaps == nil {
+		p.snaps = snapstore.New(0)
+	}
+	return p.snaps
+}
+
+// SetSnapshots toggles the warm-state snapshot tier for scenarios on
+// this pool (default on). Off, phase cells fall back to replaying their
+// warmup prefix from record zero — which only changes speed, never
+// results: the flag exists to pin that equivalence in tests and CI and
+// to isolate regressions.
+func (p *Pool) SetSnapshots(on bool) {
+	p.mu.Lock()
+	p.snapshotsOff = !on
+	p.mu.Unlock()
+}
+
+// SnapshotsOn reports whether the warm-state snapshot tier is enabled.
+func (p *Pool) SnapshotsOn() bool {
+	if p == nil {
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return !p.snapshotsOff
 }
 
 // NewPool returns a pool running up to workers cells concurrently

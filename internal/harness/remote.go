@@ -76,6 +76,13 @@ type remoteWelcome struct {
 	// only execution shape differs.
 	TraceMajor *bool `json:"trace_major,omitempty"`
 	TraceMmap  *bool `json:"trace_mmap,omitempty"`
+	// Snapshots and SnapDir carry the coordinator's warm-state snapshot
+	// tier settings, adopted the same way: the toggle when the worker
+	// got no explicit local setting, the checkpoint directory when the
+	// worker has none of its own. Results are bit-identical either way;
+	// only the amount of warmup replay differs.
+	Snapshots *bool  `json:"snapshots,omitempty"`
+	SnapDir   string `json:"snap_dir,omitempty"`
 	// WorkloadSpecs carries the coordinator's raw JSON workload-spec
 	// documents; a joining worker registers them before serving cells,
 	// so a bare `-worker -connect` fleet resolves the same spec
@@ -114,6 +121,10 @@ type RemoteBackend struct {
 	// remoteWelcome); nil leaves each worker's local setting in place.
 	TraceMajor *bool
 	TraceMmap  *bool
+	// Snapshots and SnapDir are forwarded to joining workers (see
+	// remoteWelcome.Snapshots); nil/empty leave worker settings alone.
+	Snapshots *bool
+	SnapDir   string
 	// WorkloadSpecs holds raw JSON workload-spec documents forwarded to
 	// every joining worker via the welcome frame (see
 	// remoteWelcome.WorkloadSpecs).
@@ -303,6 +314,8 @@ func (b *RemoteBackend) admit(conn net.Conn) {
 		TraceDir:      b.TraceDir,
 		TraceMajor:    b.TraceMajor,
 		TraceMmap:     b.TraceMmap,
+		Snapshots:     b.Snapshots,
+		SnapDir:       b.SnapDir,
 		WorkloadSpecs: b.WorkloadSpecs,
 	}
 	if err := writeFrame(conn, welcome); err != nil {
@@ -860,6 +873,12 @@ func ServeRemoteWorker(ctx context.Context, addr string, opts WorkerOptions) err
 	if !opts.TraceMmap && welcome.TraceMmap != nil {
 		opts.TraceMmap = *welcome.TraceMmap
 	}
+	if opts.Snapshots == nil {
+		opts.Snapshots = welcome.Snapshots
+	}
+	if opts.SnapDir == "" {
+		opts.SnapDir = welcome.SnapDir
+	}
 	// Coordinator-forwarded specs compose with any the worker loaded
 	// locally; content-hashed names make double registration harmless.
 	opts.WorkloadSpecs = append(opts.WorkloadSpecs, welcome.WorkloadSpecs...)
@@ -870,6 +889,11 @@ func ServeRemoteWorker(ctx context.Context, addr string, opts WorkerOptions) err
 	if err != nil {
 		return err
 	}
+	snaps, err := newWorkerSnapStore(opts)
+	if err != nil {
+		return err
+	}
+	env := cellEnvFor(opts, store, snaps)
 
 	var wmu sync.Mutex
 	send := func(reply remoteReply) error {
@@ -921,7 +945,7 @@ func ServeRemoteWorker(ctx context.Context, addr string, opts WorkerOptions) err
 			return fmt.Errorf("worker: read chunk: %w", err)
 		}
 		reply := remoteReply{Type: "results", Seq: work.Seq}
-		results, err := executeCells(ctx, work.Cells, opts.Workers, store, opts.traceMajorOn())
+		results, err := executeCells(ctx, work.Cells, env)
 		if err != nil {
 			reply.Err = err.Error()
 			reply.Permanent = errors.Is(err, ErrPermanent)

@@ -61,6 +61,23 @@ func NewFromString(name string) *Rand {
 	return New(h)
 }
 
+// State returns the generator's full internal state, for deterministic
+// checkpointing. SetState(State()) on a fresh Rand reproduces the exact
+// stream position.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState restores a state previously captured with State. An all-zero
+// state is invalid for xoshiro256** (the stream would be constant), so
+// it is replaced with New(0)'s state; State never returns all zeros, so
+// round-trips are unaffected.
+func (r *Rand) SetState(s [4]uint64) {
+	if s == ([4]uint64{}) {
+		*r = *New(0)
+		return
+	}
+	r.s = s
+}
+
 // Uint64 returns the next value in the stream.
 func (r *Rand) Uint64() uint64 {
 	result := bits.RotateLeft64(r.s[1]*5, 7) * 9

@@ -323,7 +323,29 @@ func RunColumnsMulti(ctx context.Context, models []Model, cols *trace.Columns) (
 	}
 	var ctxSwitches, modeSwitches uint64
 	pids, flags := cols.PIDs, cols.Flags
+	// One persistent worker goroutine per model, spawned once and fed
+	// chunk ranges over a buffered channel — spawning len(states)
+	// goroutines (each with a fresh closure) per chunk dominated the
+	// trace-major allocation profile. The channel send happens-before
+	// the worker's receive and wg.Done happens-before wg.Wait returns,
+	// so each chunk's per-model state is still touched by exactly one
+	// goroutine at a time.
 	var wg sync.WaitGroup
+	work := make([]chan [2]int, len(states))
+	for i := range states {
+		work[i] = make(chan [2]int, 1)
+		go func(st *multiState, ch <-chan [2]int) {
+			for rng := range ch {
+				st.step(cols, rng[0], rng[1])
+				wg.Done()
+			}
+		}(&states[i], work[i])
+	}
+	defer func() {
+		for i := range work {
+			close(work[i])
+		}
+	}()
 	for start := 0; start < n; start += runCheckInterval {
 		if start > 0 {
 			if err := ctx.Err(); err != nil {
@@ -347,11 +369,8 @@ func RunColumnsMulti(ctx context.Context, models []Model, cols *trace.Columns) (
 			}
 		}
 		wg.Add(len(states))
-		for i := range states {
-			go func(st *multiState) {
-				defer wg.Done()
-				st.step(cols, start, end)
-			}(&states[i])
+		for i := range work {
+			work[i] <- [2]int{start, end}
 		}
 		wg.Wait()
 	}

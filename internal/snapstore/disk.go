@@ -1,0 +1,171 @@
+// The persistent disk tier: checkpoints spill as checksummed .snap
+// files, so later runs (and exec workers sharing the directory) restore
+// warm predictor state instead of replaying the prefix. The format is a
+// magic header, the payload length, an FNV-64a digest, and the payload;
+// the digest turns any torn or bit-rotted spill into a counted miss
+// instead of corrupt state handed to a decoder.
+
+package snapstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// SetDir enables the persistent checkpoint tier rooted at dir (creating
+// it if needed); an empty dir disables the tier. Spills are atomic
+// (temp-file-plus-rename) and durable (file fsynced before the rename,
+// directory fsynced after), exactly like the trace tier — concurrent
+// processes sharing the directory never observe a partial file, and a
+// crash cannot publish a torn one.
+func (s *Store) SetDir(dir string) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.dir = dir
+	s.mu.Unlock()
+	return nil
+}
+
+// snapMagic heads every spill file.
+var snapMagic = []byte("STBS1\n")
+
+// diskPath names the spill file for a key: the sanitized workload name
+// for human readability, an FNV tag over the full (model, workload) pair
+// for collision-proofing, and the records+offset coordinates.
+func (s *Store) diskPath(k Key) string {
+	h := fnv.New64a()
+	h.Write([]byte(k.Model))
+	h.Write([]byte{0})
+	h.Write([]byte(k.Workload))
+	sanitized := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, k.Workload)
+	s.mu.Lock()
+	dir := s.dir
+	s.mu.Unlock()
+	return filepath.Join(dir, fmt.Sprintf("%s-%016x@%d+%d.snap", sanitized, h.Sum64(), k.Records, k.Offset))
+}
+
+// loadDisk tries to satisfy a miss from a spill file. A missing file is
+// a disk miss; a short, oversized, or checksum-failing file is a disk
+// error — both read as a plain miss to the caller, which falls back to
+// replay (and a subsequent Put overwrites the bad file).
+func (s *Store) loadDisk(k Key) ([]byte, bool) {
+	raw, err := os.ReadFile(s.diskPath(k))
+	if err != nil {
+		s.mu.Lock()
+		if os.IsNotExist(err) {
+			s.diskMisses++
+		} else {
+			s.diskErrors++
+		}
+		s.mu.Unlock()
+		return nil, false
+	}
+	header := len(snapMagic) + 16
+	if len(raw) < header || string(raw[:len(snapMagic)]) != string(snapMagic) {
+		s.noteDiskError()
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint64(raw[len(snapMagic):])
+	sum := binary.LittleEndian.Uint64(raw[len(snapMagic)+8:])
+	payload := raw[header:]
+	if uint64(len(payload)) != n {
+		s.noteDiskError()
+		return nil, false
+	}
+	h := fnv.New64a()
+	h.Write(payload)
+	if h.Sum64() != sum {
+		s.noteDiskError()
+		return nil, false
+	}
+	s.mu.Lock()
+	s.diskHits++
+	s.mu.Unlock()
+	return payload, true
+}
+
+// spill writes the checkpoint to the tier atomically and durably.
+// Failures are best-effort: the snapshot is already resident, so a full
+// disk costs only the persistence, not the run.
+func (s *Store) spill(k Key, data []byte) {
+	s.mu.Lock()
+	dir := s.dir
+	s.mu.Unlock()
+	tmp, err := os.CreateTemp(dir, ".snap-*")
+	if err != nil {
+		s.noteDiskError()
+		return
+	}
+	var header [16]byte
+	binary.LittleEndian.PutUint64(header[:8], uint64(len(data)))
+	h := fnv.New64a()
+	h.Write(data)
+	binary.LittleEndian.PutUint64(header[8:], h.Sum64())
+	_, err = tmp.Write(snapMagic)
+	if err == nil {
+		_, err = tmp.Write(header[:])
+	}
+	if err == nil {
+		_, err = tmp.Write(data)
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		s.noteDiskError()
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		s.noteDiskError()
+		return
+	}
+	if err := os.Rename(tmp.Name(), s.diskPath(k)); err != nil {
+		os.Remove(tmp.Name())
+		s.noteDiskError()
+		return
+	}
+	if err := syncDir(dir); err != nil {
+		// Content durable, rename visible; only the rename's durability
+		// is in doubt. Count it, keep the file.
+		s.noteDiskError()
+		return
+	}
+	s.mu.Lock()
+	s.diskWrites++
+	s.mu.Unlock()
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+func (s *Store) noteDiskError() {
+	s.mu.Lock()
+	s.diskErrors++
+	s.mu.Unlock()
+}

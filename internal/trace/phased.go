@@ -495,9 +495,25 @@ func loadAt(ph *PhaseDef, i, n int) float64 {
 	return load
 }
 
-// Generate materializes the full phase-structured trace.
+// Generate materializes the full phase-structured trace as AoS records.
+// The stream is produced columnar (GenerateColumns) and converted, so
+// both views are always byte-identical.
 func (g *PhasedGenerator) Generate() *Trace {
-	t := &Trace{Name: g.pp.Name, Records: make([]Record, 0, g.records)}
+	return g.GenerateColumns().Trace()
+}
+
+// GenerateColumns materializes the phase-structured trace directly in
+// the columnar replay representation, skipping the intermediate AoS
+// slice exactly like Generator.GenerateColumns.
+func (g *PhasedGenerator) GenerateColumns() *Columns {
+	c := &Columns{
+		Name:     g.pp.Name,
+		PCs:      make([]uint64, 0, g.records),
+		Targets:  make([]uint64, 0, g.records),
+		Flags:    make([]byte, 0, g.records),
+		PIDs:     make([]uint32, 0, g.records),
+		Programs: make([]uint16, 0, g.records),
+	}
 	core := g.core
 	bounds := PhaseBoundaries(g.pp.Phases, g.records)
 
@@ -534,13 +550,15 @@ func (g *PhasedGenerator) Generate() *Trace {
 			}
 
 			rec := core.step(prog, proc, inKernel)
-			rec.PID = uint32(cur + 1)
-			rec.Program = uint16(proc.prog)
-			rec.Kernel = inKernel
+			program := uint16(proc.prog)
 			if inKernel {
-				rec.Program = 0xffff
+				program = 0xffff
 			}
-			t.Records = append(t.Records, rec)
+			c.PCs = append(c.PCs, rec.PC)
+			c.Targets = append(c.Targets, rec.Target)
+			c.Flags = append(c.Flags, PackFlags(rec.Kind, rec.Taken, inKernel))
+			c.PIDs = append(c.PIDs, uint32(cur+1))
+			c.Programs = append(c.Programs, program)
 
 			untilSys--
 			if untilSys <= 0 && core.p.KernelBurstMean > 0 {
@@ -572,7 +590,7 @@ func (g *PhasedGenerator) Generate() *Trace {
 		// the next phase are installed above; cursors, call stacks, and
 		// kernel state carry across so control flow stays continuous.
 	}
-	return t
+	return c
 }
 
 // switchInterval samples the records until the next context switch at
@@ -595,4 +613,14 @@ func GeneratePhased(pp PhasedProfile, records int) (*Trace, error) {
 		return nil, err
 	}
 	return g.Generate(), nil
+}
+
+// GeneratePhasedColumns is GeneratePhased in the columnar replay
+// representation, skipping the intermediate AoS slice.
+func GeneratePhasedColumns(pp PhasedProfile, records int) (*Columns, error) {
+	g, err := NewPhasedGenerator(pp, records)
+	if err != nil {
+		return nil, err
+	}
+	return g.GenerateColumns(), nil
 }

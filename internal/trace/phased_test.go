@@ -277,11 +277,13 @@ func TestProfileEdgeGeneration(t *testing.T) {
 }
 
 func BenchmarkPhasedGenerate(b *testing.B) {
+	// The production path: caches generate straight into columns
+	// (tracestore.PresetGenColumns), never through the AoS slice.
 	pp := phasedFixture()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := GeneratePhased(pp, 0); err != nil {
+		if _, err := GeneratePhasedColumns(pp, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

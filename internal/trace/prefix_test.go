@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPresetsArePrefixStable pins the contract the warmup experiment's
+// single-pass scheduling builds on: for every preset, the l-record
+// trace is byte-for-byte the prefix of any longer trace of the same
+// preset. The generator guarantees it structurally — record emission
+// consumes RNG draws in stream order and nothing about the budget
+// feeds back into the stream — but the experiments layer reads
+// per-length results off one cumulative replay, so the property must
+// hold for every preset, forever.
+//
+// Spec-synth workloads (trace/spec) are deliberately NOT prefix-stable:
+// they rescale phase boundaries with the record budget. The warmup path
+// keeps per-length replay for those.
+func TestPresetsArePrefixStable(t *testing.T) {
+	const short, long = 3000, 9000
+	for _, name := range PresetNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p, err := Preset(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := GenerateColumns(p.WithRecords(short))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := GenerateColumns(p.WithRecords(long))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Len() != short || b.Len() != long {
+				t.Fatalf("lengths %d/%d, want %d/%d", a.Len(), b.Len(), short, long)
+			}
+			pre := b.Slice(0, short)
+			if !equalColumns(a, pre) {
+				t.Errorf("%s: %d-record trace is not the prefix of the %d-record one", name, short, long)
+			}
+		})
+	}
+}
+
+func equalColumns(a, b *Columns) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	if !bytes.Equal(a.Flags, b.Flags) {
+		return false
+	}
+	for i := range a.PCs {
+		if a.PCs[i] != b.PCs[i] || a.Targets[i] != b.Targets[i] ||
+			a.PIDs[i] != b.PIDs[i] || a.Programs[i] != b.Programs[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -25,6 +25,9 @@ type Synth struct {
 	Profile func(records int) (Profile, error)
 	// Generate materializes the trace at the given record budget.
 	Generate func(records int) (*Trace, error)
+	// GenerateColumns, when non-nil, materializes the same byte stream
+	// directly in columnar form; caches prefer it to Generate+FromTrace.
+	GenerateColumns func(records int) (*Columns, error)
 }
 
 var (

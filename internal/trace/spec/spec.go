@@ -460,6 +460,19 @@ func (s *Spec) Generate(records int, seed uint64) (*trace.Trace, error) {
 	return trace.GeneratePhased(pp, records)
 }
 
+// GenerateColumns is Generate in the columnar replay representation
+// (the form caches store), skipping the intermediate AoS slice.
+func (s *Spec) GenerateColumns(records int, seed uint64) (*trace.Columns, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	pp, err := s.phased(seed)
+	if err != nil {
+		return nil, err
+	}
+	return trace.GeneratePhasedColumns(pp, records)
+}
+
 var (
 	regMu      sync.RWMutex
 	registered = map[string]*Spec{}
@@ -491,6 +504,9 @@ func Register(s *Spec) error {
 		},
 		Generate: func(records int) (*trace.Trace, error) {
 			return cp.Generate(records, 0)
+		},
+		GenerateColumns: func(records int) (*trace.Columns, error) {
+			return cp.GenerateColumns(records, 0)
 		},
 	})
 }

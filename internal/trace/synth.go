@@ -297,7 +297,10 @@ func (g *Generator) buildProgram(base uint64) *program {
 	// 16-byte spaced, and unique: two static branches never share an
 	// address (rejection-sampled).
 	footprint := uint64(max(p.StaticConds*128, 1<<17))
-	used := make(map[uint64]struct{})
+	nIndirects := max(p.StaticIndirects, 1)
+	nCallees := max(p.StaticCallees, 1)
+	nJumps := max(p.StaticJumps, 1)
+	used := make(map[uint64]struct{}, p.StaticConds+nIndirects+2*nCallees+2*nJumps)
 	site := func() uint64 {
 		for {
 			a := (base + (g.r.Uint64n(footprint) &^ 0xf)) & VAMask
@@ -307,6 +310,7 @@ func (g *Generator) buildProgram(base uint64) *program {
 			}
 		}
 	}
+	prog.conds = make([]staticCond, 0, p.StaticConds)
 	for i := 0; i < p.StaticConds; i++ {
 		sc := staticCond{pc: site()}
 		sc.target = (sc.pc + 8 + g.r.Uint64n(1<<12)&^0x3) & VAMask
@@ -340,9 +344,11 @@ func (g *Generator) buildProgram(base uint64) *program {
 	if histDepFrac == 0 {
 		histDepFrac = 0.3
 	}
-	for i := 0; i < max(p.StaticIndirects, 1); i++ {
+	prog.indirects = make([]staticIndirect, 0, nIndirects)
+	for i := 0; i < nIndirects; i++ {
 		si := staticIndirect{pc: site(), salt: g.r.Uint64(), histDep: g.r.Bool(histDepFrac)}
 		fanout := 1 + g.r.Intn(max(p.IndirectTargetsMax, 1))
+		si.targets = make([]uint64, 0, fanout)
 		for j := 0; j < fanout; j++ {
 			si.targets = append(si.targets, site())
 		}
@@ -350,11 +356,14 @@ func (g *Generator) buildProgram(base uint64) *program {
 		prog.indirects = append(prog.indirects, si)
 	}
 	// Direct call sites have one fixed callee each, like real code.
-	for i := 0; i < max(p.StaticCallees, 1); i++ {
+	prog.callees = make([]uint64, 0, nCallees)
+	prog.callSites = make([]uint64, 0, nCallees)
+	for i := 0; i < nCallees; i++ {
 		prog.callees = append(prog.callees, site())
 		prog.callSites = append(prog.callSites, site())
 	}
-	for i := 0; i < max(p.StaticJumps, 1); i++ {
+	prog.jumps = make([]staticCond, 0, nJumps)
+	for i := 0; i < nJumps; i++ {
 		pc := site()
 		prog.jumps = append(prog.jumps, staticCond{pc: pc, target: site()})
 	}
@@ -377,6 +386,7 @@ func (g *Generator) buildRegions(prog *program) {
 	if lenMean == 0 {
 		lenMean = 10
 	}
+	prog.regions = make([]region, 0, nRegions)
 	for i := 0; i < nRegions; i++ {
 		length := max(3, lenMean/2) + g.r.Intn(lenMean)
 		seq := make([]slot, 0, length)
@@ -416,17 +426,35 @@ func (g *Generator) interval(mean int) int {
 	return g.r.Geometric(1/float64(mean), mean*8)
 }
 
-// Generate materializes the full trace.
+// Generate materializes the full trace as AoS records. The stream is
+// produced columnar (GenerateColumns) and converted, so both views are
+// always byte-identical.
 func (g *Generator) Generate() *Trace {
+	return g.GenerateColumns().Trace()
+}
+
+// GenerateColumns materializes the trace directly in the columnar
+// replay representation. This is the storage format every consumer
+// (tracestore, the disk/mmap tiers, trace-major replay) actually wants,
+// so generating into it skips the intermediate 32-byte-per-record AoS
+// slice and the conversion pass it used to pay.
+func (g *Generator) GenerateColumns() *Columns {
 	p := &g.p
-	t := &Trace{Name: p.Name, Records: make([]Record, 0, p.Records)}
+	c := &Columns{
+		Name:     p.Name,
+		PCs:      make([]uint64, 0, p.Records),
+		Targets:  make([]uint64, 0, p.Records),
+		Flags:    make([]byte, 0, p.Records),
+		PIDs:     make([]uint32, 0, p.Records),
+		Programs: make([]uint16, 0, p.Records),
+	}
 
 	cur := 0 // current process index
 	untilCtx := g.interval(p.CtxSwitchMean)
 	untilSys := g.interval(p.SyscallMean)
 	kernelLeft := 0
 
-	for len(t.Records) < p.Records {
+	for len(c.PCs) < p.Records {
 		proc := &g.procs[cur]
 		inKernel := kernelLeft > 0 && g.kernel != nil
 		prog := g.programs[proc.prog]
@@ -436,13 +464,15 @@ func (g *Generator) Generate() *Trace {
 		}
 
 		rec := g.step(prog, proc, inKernel)
-		rec.PID = uint32(cur + 1)
-		rec.Program = uint16(proc.prog)
-		rec.Kernel = inKernel
-		if rec.Kernel {
-			rec.Program = 0xffff // kernel entity
+		program := uint16(proc.prog)
+		if inKernel {
+			program = 0xffff // kernel entity
 		}
-		t.Records = append(t.Records, rec)
+		c.PCs = append(c.PCs, rec.PC)
+		c.Targets = append(c.Targets, rec.Target)
+		c.Flags = append(c.Flags, PackFlags(rec.Kind, rec.Taken, inKernel))
+		c.PIDs = append(c.PIDs, uint32(cur+1))
+		c.Programs = append(c.Programs, program)
 
 		untilCtx--
 		untilSys--
@@ -455,7 +485,7 @@ func (g *Generator) Generate() *Trace {
 			untilCtx = g.interval(p.CtxSwitchMean)
 		}
 	}
-	return t
+	return c
 }
 
 // step emits one branch record for the given program/process, advancing
@@ -613,4 +643,13 @@ func Generate(p Profile) (*Trace, error) {
 		return nil, err
 	}
 	return g.Generate(), nil
+}
+
+// GenerateColumns builds the columnar trace for a profile in one call.
+func GenerateColumns(p Profile) (*Columns, error) {
+	g, err := NewGenerator(p)
+	if err != nil {
+		return nil, err
+	}
+	return g.GenerateColumns(), nil
 }

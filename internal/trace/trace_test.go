@@ -420,11 +420,13 @@ func TestProfileValidate(t *testing.T) {
 }
 
 func BenchmarkGenerate(b *testing.B) {
+	// The production path: caches generate straight into columns
+	// (tracestore.PresetGenColumns), never through the AoS slice.
 	p := testProfile("505.mcf", 100_000)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Generate(p); err != nil {
+		if _, err := GenerateColumns(p); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -80,6 +80,41 @@ func PresetGen(name string, records int) (*trace.Trace, trace.Profile, error) {
 	return tr, p, nil
 }
 
+// PresetGenColumns is PresetGen generating straight into the columnar
+// storage representation: the byte stream is identical, but the
+// intermediate 32-byte-per-record AoS slice and the FromTrace
+// conversion pass are skipped. The store's default fill path uses it.
+func PresetGenColumns(name string, records int) (*trace.Columns, trace.Profile, error) {
+	if s, ok := trace.LookupSynth(name); ok {
+		p, err := s.Profile(records)
+		if err != nil {
+			return nil, trace.Profile{}, err
+		}
+		if s.GenerateColumns != nil {
+			cols, err := s.GenerateColumns(records)
+			if err != nil {
+				return nil, trace.Profile{}, err
+			}
+			return cols, p, nil
+		}
+		tr, err := s.Generate(records)
+		if err != nil {
+			return nil, trace.Profile{}, err
+		}
+		return trace.FromTrace(tr), p, nil
+	}
+	p, err := trace.Preset(name)
+	if err != nil {
+		return nil, trace.Profile{}, err
+	}
+	p = p.WithRecords(records)
+	cols, err := trace.GenerateColumns(p)
+	if err != nil {
+		return nil, trace.Profile{}, err
+	}
+	return cols, p, nil
+}
+
 // SizeOf reports the resident footprint in bytes of one stored trace:
 // its columnar representation plus, when already materialized, the AoS
 // record view (recs is nil until some Get caller asked for records).
@@ -304,9 +339,25 @@ func (s *Store) fill(e *entry) {
 			s.mu.Unlock()
 		}
 	}
-	tr, prof, err := s.gen(name, records)
-	if err != nil {
-		e.err = err
+	// Residency is columnar: the default pipeline generates straight
+	// into columns (PresetGenColumns); a custom GenFunc's AoS slice is
+	// converted and released. Either way a trace consumed only through
+	// GetColumns never pins the 32-byte-per-record row view — Get
+	// callers rebuild it lazily, one memcpy-scale pass per residency.
+	var cols *trace.Columns
+	var prof trace.Profile
+	var genErr error
+	if s.presetGen {
+		cols, prof, genErr = PresetGenColumns(name, records)
+	} else {
+		var tr *trace.Trace
+		tr, prof, genErr = s.gen(name, records)
+		if genErr == nil {
+			cols = trace.FromTrace(tr)
+		}
+	}
+	if genErr != nil {
+		e.err = genErr
 		s.mu.Lock()
 		// Failed generation is not cached: waiters on this entry see
 		// the error, the next Get retries with a fresh entry.
@@ -314,11 +365,7 @@ func (s *Store) fill(e *entry) {
 		s.mu.Unlock()
 		return
 	}
-	// Residency is columnar: the generator's AoS slice is converted and
-	// released, so a trace consumed only through GetColumns never pins
-	// the 32-byte-per-record row view. Get callers rebuild it lazily —
-	// one memcpy-scale pass per residency, trivial next to generation.
-	e.cols, e.prof = trace.FromTrace(tr), prof
+	e.cols, e.prof = cols, prof
 	if s.diskDir() != "" {
 		s.spill(e.key, e.cols)
 	}

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Perf-trend gate: run the replay-path, predictor, and trace-generator
-# micro-benchmarks, write BENCH_8.json (benchmark -> ns/op, allocs/op),
+# micro-benchmarks, write BENCH_9.json (benchmark -> ns/op, allocs/op),
 # and fail when a metric regresses against the committed baseline.
 #
 # usage: scripts/bench_gate.sh [-update]
-#   -update    rewrite BENCH_8.json as the new baseline and skip the gate
+#   -update    rewrite BENCH_9.json as the new baseline and skip the gate
 #
 # env knobs:
 #   BENCH_GATE_BENCHTIME        go test -benchtime (default 0.3s)
@@ -34,13 +34,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_8.json
+OUT=BENCH_9.json
 BENCHTIME="${BENCH_GATE_BENCHTIME:-0.3s}"
 COUNT="${BENCH_GATE_COUNT:-3}"
 NS_THR="${BENCH_GATE_NS_THRESHOLD:-0.10}"
 ALLOC_THR="${BENCH_GATE_ALLOC_THRESHOLD:-0}"
 ALLOC_SLACK="${BENCH_GATE_ALLOC_SLACK:-1}"
-PKGS=(./internal/sim/ ./internal/tage/ ./internal/perceptron/ ./internal/ittage/ ./internal/tracestore/ ./internal/trace/)
+PKGS=(./internal/sim/ ./internal/tage/ ./internal/perceptron/ ./internal/ittage/ ./internal/tracestore/ ./internal/trace/ ./internal/snapstore/)
 
 update=0
 if [ "${1:-}" = "-update" ]; then
