@@ -10,6 +10,7 @@
 //	stbpu-report -json old new                  # machine-readable diff
 //	stbpu-report run-a.jsonl run-b.jsonl        # raw run journals work too
 //	stbpu-report -timing run.jsonl              # per-scope wall-time summary
+//	stbpu-report -timing suite.json             # per-backend fleet/wire summary
 //
 // Each input is either a stbpu-suite JSON document (the -o output) or a
 // run journal (the -journal JSONL file; schema in docs/SUITE_JSON.md).
@@ -18,11 +19,13 @@
 // journal cell values flatten generically, numeric leaf by numeric
 // leaf, so the tool keeps working on documents newer than itself.
 //
-// With -timing the single input must be a run journal: instead of
-// diffing, the tool aggregates each cell's recorded elapsed_us into
-// per-(scenario, scope) wall-time summaries — the scheduling
-// diagnostic for spotting which scopes dominate a sweep and how skewed
-// their cells are.
+// With -timing the single input is either a run journal — the tool
+// aggregates each cell's recorded elapsed_us into per-(scenario,
+// scope) wall-time summaries, the scheduling diagnostic for spotting
+// which scopes dominate a sweep and how skewed their cells are — or a
+// suite document, rendering its backends block instead: per-worker
+// cells, steals, speculative waste, locality-affinity hits/misses, and
+// per-codec wire byte counts.
 //
 // Exit status: 0 when every metric matches within the threshold (a run
 // diffed against itself always exits 0 with zero deltas), 1 when a
@@ -59,8 +62,9 @@ type suiteRun struct {
 
 // suiteDocIn is the loosely-parsed suite document.
 type suiteDocIn struct {
-	Suite string     `json:"suite"`
-	Runs  []suiteRun `json:"runs"`
+	Suite    string                 `json:"suite"`
+	Runs     []suiteRun             `json:"runs"`
+	Backends []harness.BackendStats `json:"backends"`
 }
 
 // loadTable flattens one input file — suite document or run journal —
@@ -272,6 +276,33 @@ func timingReport(w io.Writer, path string, entries []harness.JournalEntry) {
 	}
 }
 
+// backendsReport renders a suite document's per-backend execution
+// stats — the fleet diagnostic: per-worker cells, steals, speculative
+// waste, locality-affinity hits and misses, and per-codec wire bytes.
+func backendsReport(w io.Writer, path string, doc suiteDocIn) {
+	fmt.Fprintf(w, "stbpu-report: backends of %s (%d backend(s))\n", path, len(doc.Backends))
+	for _, b := range doc.Backends {
+		fmt.Fprintf(w, "\n%s: %d cells, %d retries, %d ms wall", b.Backend, b.Cells, b.Retries, b.WallMS)
+		if b.Joins+b.Leaves > 0 {
+			fmt.Fprintf(w, ", %d joins, %d leaves", b.Joins, b.Leaves)
+		}
+		fmt.Fprintln(w)
+		if b.WireJSONBytes+b.WireBinaryBytes > 0 {
+			fmt.Fprintf(w, "  wire: %d JSON frame bytes, %d binary frame bytes\n", b.WireJSONBytes, b.WireBinaryBytes)
+		}
+		if len(b.Workers) == 0 {
+			continue
+		}
+		g := results.Grid{LabelWidth: 32}
+		g.Row(w, "  worker", fmt.Sprintf("%8s", "cells"), fmt.Sprintf("%8s", "steals"),
+			fmt.Sprintf("%8s", "spec"), fmt.Sprintf("%9s", "aff hits"), fmt.Sprintf("%10s", "aff misses"))
+		for _, ws := range b.Workers {
+			g.Row(w, "  "+ws.Worker, fmt.Sprintf("%8d", ws.Cells), fmt.Sprintf("%8d", ws.Steals),
+				fmt.Sprintf("%8d", ws.Speculative), fmt.Sprintf("%9d", ws.AffinityHits), fmt.Sprintf("%10d", ws.AffinityMisses))
+		}
+	}
+}
+
 // report renders the diff and returns the number of threshold
 // violations; a non-nil error means the output itself could not be
 // produced (tooling must not see a silent empty diff).
@@ -364,10 +395,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	missing := fs.String("missing", "fail", "metrics present in only one input: fail (exit 1) or allow")
 	asJSON := fs.Bool("json", false, "emit the diff as JSON")
 	maxRows := fs.Int("max-rows", 100, "cap the changed-metric rows printed (text mode)")
-	timing := fs.Bool("timing", false, "summarize per-scope wall time from one run journal instead of diffing")
+	timing := fs.Bool("timing", false, "summarize one input instead of diffing: per-scope wall time from a run journal, or the fleet/wire backends block from a suite document")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: stbpu-report [flags] <old> <new>")
-		fmt.Fprintln(stderr, "       stbpu-report -timing <run.jsonl>")
+		fmt.Fprintln(stderr, "       stbpu-report -timing <run.jsonl | suite.json>")
 		fmt.Fprintln(stderr, "inputs: stbpu-suite JSON documents (-o) or run journals (-journal)")
 		fs.PrintDefaults()
 	}
@@ -379,12 +410,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fs.Usage()
 			return 2
 		}
-		entries, err := harness.ReadJournal(fs.Arg(0))
+		path := fs.Arg(0)
+		raw, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintln(stderr, "stbpu-report:", err)
 			return 2
 		}
-		timingReport(stdout, fs.Arg(0), entries)
+		var doc suiteDocIn
+		if jerr := json.Unmarshal(raw, &doc); jerr == nil && doc.Suite == "stbpu-suite" {
+			backendsReport(stdout, path, doc)
+			return 0
+		}
+		entries, err := harness.ReadJournal(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "stbpu-report:", err)
+			return 2
+		}
+		timingReport(stdout, path, entries)
 		return 0
 	}
 	if fs.NArg() != 2 {

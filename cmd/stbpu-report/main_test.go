@@ -287,8 +287,8 @@ func TestTimingSummary(t *testing.T) {
 	}
 }
 
-// TestTimingUsage: -timing takes exactly one journal and rejects
-// non-journal inputs.
+// TestTimingUsage: -timing takes exactly one input; a suite document
+// renders the backends summary rather than the journal report.
 func TestTimingUsage(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-timing", "a.jsonl", "b.jsonl"}, &out, &errb); code != 2 {
@@ -298,7 +298,54 @@ func TestTimingUsage(t *testing.T) {
 	writeTestDoc(t, doc, map[string]any{"thresholds": experiments.RunThresholds(2)})
 	out.Reset()
 	errb.Reset()
-	if code := run([]string{"-timing", doc}, &out, &errb); code != 2 {
-		t.Errorf("suite document with -timing: exit %d, want 2", code)
+	if code := run([]string{"-timing", doc}, &out, &errb); code != 0 {
+		t.Errorf("suite document with -timing: exit %d, want 0\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "backends of") {
+		t.Errorf("suite document with -timing should render the backends summary:\n%s", out.String())
+	}
+}
+
+// TestTimingBackendsReport: a suite document carrying a fleet backends
+// block must surface the scheduler and wire diagnostics — per-worker
+// affinity hits/misses and per-codec frame bytes.
+func TestTimingBackendsReport(t *testing.T) {
+	doc := map[string]any{
+		"suite": "stbpu-suite",
+		"seed":  1,
+		"runs":  []any{},
+		"backends": []any{
+			map[string]any{
+				"backend": "remote", "cells": 64, "retries": 1, "wall_ms": 12,
+				"joins": 2, "leaves": 1,
+				"wire_json_bytes": 512, "wire_binary_bytes": 4096,
+				"workers": []any{
+					map[string]any{"worker": "alpha#0", "cells": 40, "affinity_hits": 9, "affinity_misses": 1},
+					map[string]any{"worker": "beta#1", "cells": 24, "steals": 2, "affinity_hits": 5},
+				},
+			},
+		},
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "suite.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-timing", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d\n%s%s", code, out.String(), errb.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"remote: 64 cells, 1 retries, 12 ms wall, 2 joins, 1 leaves",
+		"wire: 512 JSON frame bytes, 4096 binary frame bytes",
+		"alpha#0", "beta#1", "aff hits", "aff misses",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("backends report lacks %q:\n%s", want, text)
+		}
 	}
 }

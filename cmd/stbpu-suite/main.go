@@ -17,6 +17,9 @@
 //	stbpu-suite -worker                     # subprocess worker mode
 //	stbpu-suite -backend remote -listen :7701  # coordinate a TCP worker fleet
 //	stbpu-suite -worker -connect host:7701  # join a fleet as a network worker
+//	stbpu-suite -affinity=false             # plain work sharing (no locality routing)
+//	stbpu-suite -wire json                  # pin JSON wire frames (debug/old fleets)
+//	stbpu-suite -pprof localhost:6060       # serve live profiling endpoints
 //	stbpu-suite -journal run.jsonl          # stream completed cells to a journal
 //	stbpu-suite -journal run.jsonl -resume  # skip cells the journal already holds
 //	stbpu-suite -trace-dir ~/.cache/stbpu   # persist generated traces across runs
@@ -48,6 +51,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof" // -pprof: registers the profiling handlers
 	"os"
 	"os/signal"
 	"strings"
@@ -118,6 +123,13 @@ type config struct {
 	execTimeout time.Duration
 	// listen is the -backend remote coordinator's TCP address.
 	listen string
+	// wire pins the frame codec on both wire backends: "" negotiates
+	// the compact binary codec, "json" forces JSON frames.
+	wire string
+	// affinityOff disables locality-aware fleet dispatch. Stored
+	// inverted (like modelMajor) so a zero-value config keeps the
+	// default: affinity on.
+	affinityOff bool
 	// listenReady, when set, receives the coordinator's bound address
 	// once it is accepting workers (tests use it to learn the ephemeral
 	// port before launching workers).
@@ -183,7 +195,7 @@ func buildBackend(cfg config) (harness.Backend, error) {
 				cmd = append(cmd, fmt.Sprintf("-snap-dir=%s", cfg.snapDir))
 			}
 		}
-		return &harness.ExecBackend{Command: cmd, Env: cfg.workerEnv, Workers: execWorkers, BatchTimeout: cfg.execTimeout}, nil
+		return &harness.ExecBackend{Command: cmd, Env: cfg.workerEnv, Workers: execWorkers, BatchTimeout: cfg.execTimeout, Wire: cfg.wire}, nil
 	}
 	switch cfg.backend {
 	case "", "local":
@@ -194,9 +206,11 @@ func buildBackend(cfg config) (harness.Backend, error) {
 		// coordinator's configuration without per-worker flags.
 		traceMajor := !cfg.modelMajor
 		snapshots := !cfg.snapshotsOff
+		affinity := !cfg.affinityOff
 		rb := &harness.RemoteBackend{Addr: cfg.listen, TraceDir: cfg.traceDir,
 			TraceMajor: &traceMajor, TraceMmap: &cfg.traceMmap,
-			Snapshots: &snapshots, SnapDir: cfg.snapDir}
+			Snapshots: &snapshots, SnapDir: cfg.snapDir,
+			Affinity: &affinity, Wire: cfg.wire}
 		if cfg.workloadSpecDoc != "" {
 			// Remote workers may sit on other machines, so the spec
 			// travels by value in the welcome frame.
@@ -408,6 +422,9 @@ func run() error {
 		execW     = flag.Int("exec-workers", 2, "subprocess worker count for -backend exec/mixed")
 		execTO    = flag.Duration("exec-timeout", 10*time.Minute, "kill an exec worker whose batch exceeds this and requeue the chunk (0 = no deadline)")
 		listen    = flag.String("listen", "", "-backend remote: TCP address to coordinate workers on (empty = 127.0.0.1:0)")
+		wireF     = flag.String("wire", "binary", "frame codec policy for exec/remote wires: binary (negotiated; old workers fall back to JSON) or json (pin JSON frames)")
+		affinity  = flag.Bool("affinity", true, "-backend remote: prefer dispatching each chunk to the worker whose caches are warm for its workload (=false for plain work sharing; results are bit-identical)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof profiling handlers on this address (works in coordinator and -worker modes), e.g. localhost:6060")
 		connect   = flag.String("connect", "", "with -worker: dial this coordinator address instead of serving stdin/stdout")
 		worker    = flag.Bool("worker", false, "run as a worker: execute cell batches from stdin, or from the -connect coordinator")
 		specF     = flag.String("workload-spec", "", "JSON workload-spec file (docs/WORKLOADS.md): register it and point the workloads scenario at it; forwarded to exec and remote workers")
@@ -419,6 +436,24 @@ func run() error {
 	)
 	flag.Parse()
 
+	var wire string
+	switch *wireF {
+	case "", "binary":
+		wire = "" // negotiate
+	case "json":
+		wire = "json"
+	default:
+		return fmt.Errorf("unknown -wire %q (want binary or json)", *wireF)
+	}
+	if *pprofAddr != "" {
+		// DefaultServeMux carries the pprof handlers via the blank import.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "stbpu-suite: pprof on %s: %v\n", *pprofAddr, err)
+			}
+		}()
+	}
+
 	if *worker {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
@@ -429,6 +464,7 @@ func run() error {
 			TraceMmap:  *traceMmap,
 			SnapBytes:  *snapB,
 			SnapDir:    *snapDir,
+			Wire:       wire,
 		}
 		if *specF != "" {
 			s, err := spec.LoadFile(*specF)
@@ -492,6 +528,8 @@ func run() error {
 		execWorkers:  *execW,
 		execTimeout:  *execTO,
 		listen:       *listen,
+		wire:         wire,
+		affinityOff:  !*affinity,
 		workloadSpec: *specF,
 		journal:      *journalF,
 		resume:       *resume,

@@ -88,6 +88,7 @@ func RunDefenseAccuracyCtx(ctx context.Context, p harness.Params, pool *harness.
 	// Trace-major: one pass per workload feeds the whole model lineup.
 	oaes, err := harness.MapTraceMajor(ctx, pool, "defense-accuracy", len(names)*k,
 		func(shard int) int { return shard / k },
+		func(shard int) string { return harness.Locality(names[shard/k], s.Records) },
 		func(ctx context.Context, shards []int, seeds []uint64) ([]float64, error) {
 			cols, prof, err := cache.GetColumns(names[shards[0]/k], s.Records)
 			if err != nil {

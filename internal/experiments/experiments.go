@@ -99,6 +99,7 @@ func RunFig3Ctx(ctx context.Context, p harness.Params, pool *harness.Pool) (Fig3
 	// replay in one pass over the shared columns.
 	oaes, err := harness.MapTraceMajor(ctx, pool, "fig3", len(names)*k,
 		func(shard int) int { return shard / k },
+		func(shard int) string { return harness.Locality(names[shard/k], s.Records) },
 		func(ctx context.Context, shards []int, seeds []uint64) ([]float64, error) {
 			cols, prof, err := cache.GetColumns(names[shards[0]/k], s.Records)
 			if err != nil {

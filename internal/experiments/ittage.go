@@ -88,6 +88,7 @@ func RunITTAGECtx(ctx context.Context, p harness.Params, pool *harness.Pool) (IT
 	// Trace-major: the four variants share one pass per workload.
 	cells, err := harness.MapTraceMajor(ctx, pool, "ittage", len(names)*nv,
 		func(shard int) int { return shard / nv },
+		func(shard int) string { return harness.Locality(names[shard/nv], s.Records) },
 		func(ctx context.Context, shards []int, seeds []uint64) ([]ittageCell, error) {
 			cols, _, err := cache.GetColumns(names[shards[0]/nv], s.Records)
 			if err != nil {

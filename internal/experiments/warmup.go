@@ -93,9 +93,17 @@ func RunWarmupCtx(ctx context.Context, p harness.Params, pool *harness.Pool) (Wa
 
 	// Trace-major grouping: prefix-stable presets share one group (one
 	// resident trace, one pass per model); synths group by trace length.
+	maxLen := 0
+	for _, l := range lengths {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
 	key := func(int) int { return 0 }
+	locality := func(int) string { return harness.Locality(p.Workload, maxLen) }
 	if synth {
 		key = func(shard int) int { return shard / k }
+		locality = func(shard int) string { return harness.Locality(p.Workload, lengths[shard/k]) }
 	}
 	run := func(ctx context.Context, shards []int, seeds []uint64) ([]float64, error) {
 		if synth {
@@ -123,12 +131,6 @@ func RunWarmupCtx(ctx context.Context, p harness.Params, pool *harness.Pool) (Wa
 		// cell (length, model) reads the cumulative mispredictions when
 		// its boundary is crossed. Seeds derive from the model's
 		// length-0 shard (one model instance serves every length).
-		maxLen := 0
-		for _, l := range lengths {
-			if l > maxLen {
-				maxLen = l
-			}
-		}
 		cols, prof, err := cache.GetColumns(p.Workload, maxLen)
 		if err != nil {
 			return nil, err
@@ -202,7 +204,7 @@ func RunWarmupCtx(ctx context.Context, p harness.Params, pool *harness.Pool) (Wa
 		}
 		return out, nil
 	}
-	oaes, err := harness.MapTraceMajor(ctx, pool, "warmup", len(lengths)*k, key, run)
+	oaes, err := harness.MapTraceMajor(ctx, pool, "warmup", len(lengths)*k, key, locality, run)
 	if err != nil {
 		return WarmupResult{}, err
 	}

@@ -127,6 +127,10 @@ func RunWorkloadsCtx(ctx context.Context, p harness.Params, pool *harness.Pool) 
 	cache := pool.Traces()
 	cells, err := harness.MapTraceMajor(ctx, pool, "workloads", len(addrs),
 		func(shard int) int { return addrs[shard].si },
+		func(shard int) string {
+			s := specs[addrs[shard].si]
+			return harness.Locality(s.WorkloadName(), specRecords(p, s))
+		},
 		func(ctx context.Context, shards []int, _ []uint64) ([]workloadCell, error) {
 			si := addrs[shards[0]].si
 			s := specs[si]

@@ -44,6 +44,12 @@ type CellSpec struct {
 	Seed uint64 `json:"seed"`
 	// RootSeed is the pool's root seed, from which workers re-derive Seed.
 	RootSeed uint64 `json:"root_seed"`
+	// Locality names the warm artifact (trace columns, snapshots) the
+	// cell replays — "workload@records" for trace-major groups, empty
+	// otherwise. Pure scheduling metadata: locality-aware backends route
+	// cells sharing a key to the worker that last held the artifact, and
+	// prefetch hints carry upcoming keys; results never depend on it.
+	Locality string `json:"locality,omitempty"`
 
 	// fn is the in-process cell function. It never crosses the wire;
 	// remote workers reconstruct the cell from the exported fields.
@@ -193,6 +199,13 @@ type BackendStats struct {
 	// RemoteBackend, whose workers come and go, reports them.
 	Joins  uint64 `json:"joins,omitempty"`
 	Leaves uint64 `json:"leaves,omitempty"`
+	// WireJSONBytes/WireBinaryBytes count frame payload bytes moved over
+	// the backend's wire (both directions, handshakes included) per
+	// codec; only wire backends (exec, remote) report them. A mixed
+	// fleet — some workers negotiated the binary codec, some fell back
+	// to JSON — reports both.
+	WireJSONBytes   uint64 `json:"wire_json_bytes,omitempty"`
+	WireBinaryBytes uint64 `json:"wire_binary_bytes,omitempty"`
 	// Workers itemizes a RemoteBackend's fleet, one entry per worker that
 	// ever joined (in join order, departed workers included).
 	Workers []WorkerStats `json:"workers,omitempty"`
@@ -211,6 +224,13 @@ type WorkerStats struct {
 	// Speculative counts cells this worker executed whose results were
 	// discarded because another copy had already been accepted.
 	Speculative uint64 `json:"speculative,omitempty"`
+	// AffinityHits/AffinityMisses count non-speculative chunk dispatches
+	// with a locality key that did (hit) or did not (miss) land on the
+	// key's preferred worker — lastServed if alive, else the rendezvous
+	// choice. Misses are the load-aware fallback keeping idle workers
+	// fed; chunks without a locality key count as neither.
+	AffinityHits   uint64 `json:"affinity_hits,omitempty"`
+	AffinityMisses uint64 `json:"affinity_misses,omitempty"`
 }
 
 // StatsReporter is implemented by backends that track BackendStats;

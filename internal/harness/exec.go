@@ -1,8 +1,9 @@
 package harness
 
 // Subprocess execution: ExecBackend ships CellSpec batches to worker
-// processes (`stbpu-suite -worker`) over a length-prefixed JSON protocol
-// on stdin/stdout and merges the CellResults they send back. A worker
+// processes (`stbpu-suite -worker`) over length-prefixed frames on
+// stdin/stdout (JSON, or the negotiated binary codec — see wire.go)
+// and merges the CellResults they send back. A worker
 // executes a spec by looking the scenario up in its own registry and
 // re-running the scenario's decomposition with a capture backend that
 // runs only the requested shards — cells are pure functions of
@@ -23,7 +24,6 @@ package harness
 import (
 	"bufio"
 	"context"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -43,9 +43,23 @@ import (
 // cannot trigger a giant allocation.
 const maxFrameBytes = 256 << 20
 
+// execHello opens the exec stdio wire: the coordinator's first frame
+// carries no cells, only the codecs it speaks. A bare/old worker
+// treats it as an empty batch and answers a plain response with no
+// codec — the coordinator then stays on JSON for the session.
+type execHello struct {
+	Codecs []string `json:"codecs,omitempty"`
+}
+
 // workerRequest is one coordinator → worker frame.
 type workerRequest struct {
-	Cells []CellSpec `json:"cells"`
+	// Hello, when set, makes this a handshake frame (no cells).
+	Hello *execHello `json:"hello,omitempty"`
+	// Prefetch carries locality keys (see Locality) of upcoming chunks
+	// so the worker can overlap trace/snapshot loads with this batch's
+	// compute. Advisory: ignoring it never changes results.
+	Prefetch []string   `json:"prefetch,omitempty"`
+	Cells    []CellSpec `json:"cells"`
 }
 
 // workerResponse is one worker → coordinator frame. Err reports a
@@ -54,6 +68,9 @@ type workerRequest struct {
 // deterministic failure of the batch itself (see ErrPermanent), which
 // the coordinator must not requeue onto another backend.
 type workerResponse struct {
+	// Codec answers a hello with the frame codec the worker selected
+	// (empty = JSON); absent outside handshakes.
+	Codec     string       `json:"codec,omitempty"`
 	Results   []CellResult `json:"results,omitempty"`
 	Err       string       `json:"err,omitempty"`
 	Permanent bool         `json:"permanent,omitempty"`
@@ -62,42 +79,36 @@ type workerResponse struct {
 // writeFrame emits a 4-byte big-endian length followed by the JSON
 // encoding of v.
 func writeFrame(w io.Writer, v any) error {
+	_, err := writeJSONFrame(w, v)
+	return err
+}
+
+// writeJSONFrame is writeFrame reporting the payload size, for the
+// per-codec byte accounting.
+func writeJSONFrame(w io.Writer, v any) (int, error) {
 	payload, err := json.Marshal(v)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if len(payload) > maxFrameBytes {
-		return fmt.Errorf("frame of %d bytes exceeds the %d-byte protocol bound", len(payload), maxFrameBytes)
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(payload)
-	return err
+	return len(payload), writeRawFrame(w, payload)
 }
 
 // readFrame reads one length-prefixed JSON frame into v. A clean EOF
 // before the header returns io.EOF; EOF mid-frame returns
 // io.ErrUnexpectedEOF.
 func readFrame(r io.Reader, v any) error {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
+	_, err := readJSONFrame(r, v)
+	return err
+}
+
+// readJSONFrame is readFrame reporting the payload size, for the
+// per-codec byte accounting.
+func readJSONFrame(r io.Reader, v any) (int, error) {
+	payload, err := readRawFrame(r)
+	if err != nil {
+		return 0, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrameBytes {
-		return fmt.Errorf("frame of %d bytes exceeds the %d-byte protocol bound", n, maxFrameBytes)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		if errors.Is(err, io.EOF) {
-			return io.ErrUnexpectedEOF
-		}
-		return err
-	}
-	return json.Unmarshal(payload, v)
+	return len(payload), json.Unmarshal(payload, v)
 }
 
 // ---------------------------------------------------------------------------
@@ -124,6 +135,9 @@ type ExecBackend struct {
 	// and is killed, failing the batch with its stderr post-mortem so a
 	// router can requeue the chunk. <= 0 means no deadline.
 	BatchTimeout time.Duration
+	// Wire pins the frame codec: "json" forces JSON frames (skipping
+	// the handshake), empty negotiates the binary codec per worker.
+	Wire string
 
 	mu     sync.Mutex
 	procs  []*execWorker
@@ -132,6 +146,7 @@ type ExecBackend struct {
 	sink   atomic.Pointer[cellNotify]
 	cells  atomic.Uint64
 	wallNS atomic.Int64
+	wire   wireStats
 }
 
 // Name implements Backend.
@@ -147,11 +162,13 @@ func (b *ExecBackend) notify(c Cell, spec CellSpec, res CellResult) {
 
 // BackendStats implements StatsReporter.
 func (b *ExecBackend) BackendStats() []BackendStats {
-	return []BackendStats{{
+	s := BackendStats{
 		Backend: b.Name(),
 		Cells:   b.cells.Load(),
 		WallMS:  time.Duration(b.wallNS.Load()).Milliseconds(),
-	}}
+	}
+	b.wire.fill(&s)
+	return []BackendStats{s}
 }
 
 // ensureStarted spawns (or respawns) the worker fleet.
@@ -183,7 +200,7 @@ func (b *ExecBackend) ensureStarted() ([]*execWorker, error) {
 		if b.procs[i] != nil && !b.procs[i].dead.Load() {
 			continue
 		}
-		w, err := startExecWorker(i, argv, b.Env, b.BatchTimeout)
+		w, err := startExecWorker(i, argv, b.Env, b.BatchTimeout, b.Wire, &b.wire)
 		if err != nil {
 			return nil, fmt.Errorf("spawn worker %d: %w", i, err)
 		}
@@ -210,23 +227,19 @@ func (b *ExecBackend) Run(ctx context.Context, specs []CellSpec) ([]CellResult, 
 	if chunkSize < 1 {
 		chunkSize = 1
 	}
-	chunks := make(chan []CellSpec)
+	// An indexed queue instead of a channel: popping a chunk also peeks
+	// at what is still queued, so each request can carry a prefetch hint
+	// for the next locality the fleet will need.
+	queue := &execQueue{}
+	for off := 0; off < len(specs); off += chunkSize {
+		end := off + chunkSize
+		if end > len(specs) {
+			end = len(specs)
+		}
+		queue.chunks = append(queue.chunks, specs[off:end])
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	go func() {
-		defer close(chunks)
-		for off := 0; off < len(specs); off += chunkSize {
-			end := off + chunkSize
-			if end > len(specs) {
-				end = len(specs)
-			}
-			select {
-			case chunks <- specs[off:end]:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
 
 	specByShard := make(map[int]CellSpec, len(specs))
 	for _, s := range specs {
@@ -243,8 +256,12 @@ func (b *ExecBackend) Run(ctx context.Context, specs []CellSpec) ([]CellResult, 
 		wg.Add(1)
 		go func(w *execWorker) {
 			defer wg.Done()
-			for chunk := range chunks {
-				results, err := w.roundTrip(ctx, chunk)
+			for ctx.Err() == nil {
+				chunk, prefetch := queue.pop()
+				if chunk == nil {
+					return
+				}
+				results, err := w.roundTrip(ctx, chunk, prefetch)
 				if err != nil {
 					mu.Lock()
 					if firstEr == nil {
@@ -302,6 +319,38 @@ func (b *ExecBackend) Close() error {
 	return first
 }
 
+// execQueue hands out batch chunks in order; pop also derives the
+// prefetch hint for the request that will carry the chunk.
+type execQueue struct {
+	mu     sync.Mutex
+	chunks [][]CellSpec
+	next   int
+}
+
+// pop returns the next chunk plus the locality key of the first later
+// queued chunk whose key differs from this chunk's — the artifact the
+// fleet will need next, worth warming during this chunk's compute.
+// Consecutive chunks usually share a key (Map emits shard order and
+// trace-major groups are contiguous), so the hint is empty for most
+// pops and each distinct key is hinted roughly once per transition.
+func (q *execQueue) pop() (chunk []CellSpec, prefetch []string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.next >= len(q.chunks) {
+		return nil, nil
+	}
+	chunk = q.chunks[q.next]
+	q.next++
+	cur := chunk[0].Locality
+	for i := q.next; i < len(q.chunks); i++ {
+		if loc := q.chunks[i][0].Locality; loc != "" && loc != cur {
+			prefetch = []string{loc}
+			break
+		}
+	}
+	return chunk, prefetch
+}
+
 // execWorker is one subprocess speaking the frame protocol. A worker
 // handles one round-trip at a time (guarded by mu), so frames never
 // interleave even when Run is called concurrently.
@@ -312,15 +361,19 @@ type execWorker struct {
 	out     *bufio.Reader
 	stderr  *tailBuffer
 	timeout time.Duration // per-batch deadline; 0 = none
+	wireCfg string        // backend Wire config ("json" pins JSON)
+	stats   *wireStats
 
-	mu       sync.Mutex
-	dead     atomic.Bool
-	killOnce sync.Once
-	waitOnce sync.Once
-	waitRes  error
+	mu        sync.Mutex
+	helloDone bool
+	codec     string // negotiated frame codec ("" = JSON)
+	dead      atomic.Bool
+	killOnce  sync.Once
+	waitOnce  sync.Once
+	waitRes   error
 }
 
-func startExecWorker(id int, argv, env []string, timeout time.Duration) (*execWorker, error) {
+func startExecWorker(id int, argv, env []string, timeout time.Duration, wireCfg string, stats *wireStats) (*execWorker, error) {
 	cmd := exec.Command(argv[0], argv[1:]...)
 	if len(env) > 0 {
 		cmd.Env = append(os.Environ(), env...)
@@ -338,14 +391,83 @@ func startExecWorker(id int, argv, env []string, timeout time.Duration) (*execWo
 	if err := cmd.Start(); err != nil {
 		return nil, err
 	}
-	return &execWorker{id: id, cmd: cmd, in: in, out: bufio.NewReader(out), stderr: tail, timeout: timeout}, nil
+	return &execWorker{id: id, cmd: cmd, in: in, out: bufio.NewReader(out), stderr: tail,
+		timeout: timeout, wireCfg: wireCfg, stats: stats}, nil
+}
+
+// handshake negotiates the frame codec on the worker's first
+// round-trip (always JSON frames). An old worker treats the hello as
+// an empty batch and answers with no codec, leaving the session on
+// JSON; a worker that died on its first frame surfaces through the
+// same root-caused error path as any other protocol failure.
+func (w *execWorker) handshake() error {
+	if w.helloDone {
+		return nil
+	}
+	w.helloDone = true
+	if w.wireCfg == wireForceJSON {
+		return nil
+	}
+	n, err := writeJSONFrame(w.in, workerRequest{Hello: &execHello{Codecs: wireOffer(w.wireCfg)}})
+	if err != nil {
+		return err
+	}
+	w.stats.count("", n)
+	var resp workerResponse
+	rn, err := readJSONFrame(w.out, &resp)
+	if err != nil {
+		return err
+	}
+	w.stats.count("", rn)
+	if resp.Err != "" {
+		return fmt.Errorf("hello rejected: %s", resp.Err)
+	}
+	if resp.Codec == wireCodecBinary {
+		w.codec = wireCodecBinary
+	}
+	return nil
+}
+
+// writeRequest frames req in the session's negotiated codec.
+func (w *execWorker) writeRequest(req workerRequest) error {
+	if w.codec == wireCodecBinary {
+		payload := encodeWireMsg(&wireMsg{kind: wireKindWork, cells: req.Cells, prefetch: req.Prefetch})
+		w.stats.count(w.codec, len(payload))
+		return writeRawFrame(w.in, payload)
+	}
+	n, err := writeJSONFrame(w.in, req)
+	w.stats.count("", n)
+	return err
+}
+
+// readResponse reads one response frame in the negotiated codec.
+func (w *execWorker) readResponse(resp *workerResponse) error {
+	if w.codec == wireCodecBinary {
+		payload, err := readRawFrame(w.out)
+		if err != nil {
+			return err
+		}
+		w.stats.count(w.codec, len(payload))
+		m, err := decodeWireMsg(payload)
+		if err != nil {
+			return err
+		}
+		if m.kind != wireKindResults {
+			return fmt.Errorf("unexpected frame kind %d (want results)", m.kind)
+		}
+		resp.Results, resp.Err, resp.Permanent = m.results, m.err, m.permanent
+		return nil
+	}
+	n, err := readJSONFrame(w.out, resp)
+	w.stats.count("", n)
+	return err
 }
 
 // roundTrip sends one batch and waits for its response. Any transport
 // failure marks the worker dead and returns a root-caused error carrying
 // the worker's exit state and recent stderr, so a killed subprocess
 // surfaces as a diagnosis instead of a hang.
-func (w *execWorker) roundTrip(ctx context.Context, chunk []CellSpec) ([]CellResult, error) {
+func (w *execWorker) roundTrip(ctx context.Context, chunk []CellSpec, prefetch []string) ([]CellResult, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.dead.Load() {
@@ -359,8 +481,10 @@ func (w *execWorker) roundTrip(ctx context.Context, chunk []CellSpec) ([]CellRes
 	done := make(chan outcome, 1)
 	go func() {
 		var o outcome
-		if o.err = writeFrame(w.in, workerRequest{Cells: chunk}); o.err == nil {
-			o.err = readFrame(w.out, &o.resp)
+		if o.err = w.handshake(); o.err == nil {
+			if o.err = w.writeRequest(workerRequest{Cells: chunk, Prefetch: prefetch}); o.err == nil {
+				o.err = w.readResponse(&o.resp)
+			}
 		}
 		done <- o
 	}()
@@ -518,6 +642,10 @@ type WorkerOptions struct {
 	// worker resolves the same spec workload names the coordinator
 	// schedules. Content-hashed names make registration idempotent.
 	WorkloadSpecs []string
+	// Wire pins the worker's frame codec: "json" refuses the binary
+	// codec in handshakes (the worker then behaves like a bare/old
+	// worker); empty accepts whatever the coordinator offers.
+	Wire string
 }
 
 // registerWorkloadSpecs parses and registers raw spec documents a
@@ -567,6 +695,27 @@ func cellEnvFor(opts WorkerOptions, store *tracestore.Store, snaps *snapstore.St
 	}
 }
 
+// prefetch starts background warmup of the stores for upcoming
+// locality keys: trace columns materialize via the tracestore's
+// singleflight entry (so a later GetColumns joins rather than
+// duplicates the work) and matching snapshot spills are pulled into
+// the page cache. Advisory and asynchronous — results never depend on
+// it.
+func (env cellEnv) prefetch(keys []string) {
+	for _, k := range keys {
+		name, records, ok := SplitLocality(k)
+		if !ok {
+			continue
+		}
+		if env.store != nil {
+			env.store.Prefetch(name, records)
+		}
+		if env.snaps != nil {
+			env.snaps.Prefetch(name)
+		}
+	}
+}
+
 // ServeWorker runs the worker loop: read a CellSpec batch frame, execute
 // it, write the CellResult frame, until EOF on r. Workload traces come
 // from one process-local store that persists across batches.
@@ -585,14 +734,42 @@ func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, opts WorkerOptio
 		return err
 	}
 	env := cellEnvFor(opts, store, snaps)
+	codec := ""
 	for {
-		var req workerRequest
-		if err := readFrame(br, &req); err != nil {
+		payload, err := readRawFrame(br)
+		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil // clean shutdown: coordinator closed stdin
 			}
 			return fmt.Errorf("worker: read request: %w", err)
 		}
+		var req workerRequest
+		if len(payload) > 0 && payload[0] == binMagic {
+			m, err := decodeWireMsg(payload)
+			if err != nil {
+				return fmt.Errorf("worker: decode request: %w", err)
+			}
+			req.Cells, req.Prefetch = m.cells, m.prefetch
+		} else if err := json.Unmarshal(payload, &req); err != nil {
+			return fmt.Errorf("worker: read request: %w", err)
+		}
+
+		if req.Hello != nil {
+			// Handshake: pick the codec for subsequent frames; the answer
+			// itself is always JSON.
+			codec = negotiateCodec(req.Hello.Codecs, opts.Wire)
+			if err := writeFrame(bw, workerResponse{Codec: codec}); err != nil {
+				return fmt.Errorf("worker: write hello response: %w", err)
+			}
+			if err := bw.Flush(); err != nil {
+				return fmt.Errorf("worker: flush hello response: %w", err)
+			}
+			continue
+		}
+		if len(req.Prefetch) > 0 {
+			env.prefetch(req.Prefetch)
+		}
+
 		var resp workerResponse
 		results, err := executeCells(ctx, req.Cells, env)
 		if err != nil {
@@ -601,7 +778,13 @@ func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, opts WorkerOptio
 		} else {
 			resp.Results = results
 		}
-		if err := writeFrame(bw, resp); err != nil {
+		if codec == wireCodecBinary {
+			out := encodeWireMsg(&wireMsg{kind: wireKindResults, results: resp.Results, err: resp.Err, permanent: resp.Permanent})
+			err = writeRawFrame(bw, out)
+		} else {
+			err = writeFrame(bw, resp)
+		}
+		if err != nil {
 			return fmt.Errorf("worker: write response: %w", err)
 		}
 		if err := bw.Flush(); err != nil {

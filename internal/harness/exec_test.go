@@ -71,6 +71,34 @@ func registerExecScenarios() {
 		},
 	})
 	Register(Scenario{
+		Name:        "_exec-group",
+		Description: "exec-backend locality-grouped trace scenario",
+		Defaults:    Params{Trials: 8, Records: 2_000},
+		Run: func(ctx context.Context, p Params, pool *Pool) (any, error) {
+			workloads := []string{"505.mcf", "541.leela"}
+			wl := func(shard int) string { return workloads[shard%len(workloads)] }
+			cache := pool.Traces()
+			return MapTraceMajor(ctx, pool, "_exec-group", p.Trials,
+				func(shard int) int { return shard % len(workloads) },
+				func(shard int) string { return Locality(wl(shard), p.Records) },
+				func(ctx context.Context, shards []int, seeds []uint64) ([]uint64, error) {
+					out := make([]uint64, len(shards))
+					for i, shard := range shards {
+						cols, _, err := cache.GetColumns(wl(shard), p.Records)
+						if err != nil {
+							return nil, err
+						}
+						digest := seeds[i]
+						for j := 0; j < cols.Len(); j += 97 {
+							digest = digest*1099511628211 ^ cols.PCs[j] ^ cols.Targets[j]
+						}
+						out[i] = digest
+					}
+					return out, nil
+				})
+		},
+	})
+	Register(Scenario{
 		Name:        "_exec-failing",
 		Description: "exec-backend failing-cell scenario",
 		Defaults:    Params{Trials: 8},
@@ -199,6 +227,68 @@ func TestExecBackendMatchesLocal(t *testing.T) {
 	if remote[0].Cells != local[0].Cells {
 		t.Errorf("cell accounting differs: local %d, remote %d", local[0].Cells, remote[0].Cells)
 	}
+}
+
+// TestExecBackendNegotiatesBinary: a stock coordinator/worker pair must
+// settle on the binary codec in the hello exchange and carry the actual
+// work frames on it, without disturbing result bytes.
+func TestExecBackendNegotiatesBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocess workers")
+	}
+	local := runWire(t, NewPool(2, 777))
+
+	pool := NewPool(2, 777)
+	backend := newTestExecBackend(t, 1, "serve")
+	pool.SetBackend(backend)
+	remote := runWire(t, pool)
+
+	if !bytes.Equal(mustJSON(t, local), mustJSON(t, remote)) {
+		t.Error("binary-codec exec results diverge from local")
+	}
+	st := backend.BackendStats()[0]
+	if st.WireBinaryBytes == 0 {
+		t.Errorf("negotiation never reached the binary codec: %+v", st)
+	}
+	if st.WireJSONBytes == 0 {
+		t.Errorf("handshake frames should still be JSON-counted: %+v", st)
+	}
+}
+
+// TestExecWirePinnedJSON: Wire "json" must pin the whole exchange to
+// JSON frames — the escape hatch for old workers and debugging — with
+// bytes still identical to local.
+func TestExecWirePinnedJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocess workers")
+	}
+	local := runWire(t, NewPool(2, 888))
+
+	pool := NewPool(2, 888)
+	backend := newTestExecBackend(t, 1, "serve")
+	backend.Wire = "json"
+	pool.SetBackend(backend)
+	remote := runWire(t, pool)
+
+	if !bytes.Equal(mustJSON(t, local), mustJSON(t, remote)) {
+		t.Error("pinned-JSON exec results diverge from local")
+	}
+	st := backend.BackendStats()[0]
+	if st.WireBinaryBytes != 0 {
+		t.Errorf("pinned-JSON wire still moved %d binary bytes", st.WireBinaryBytes)
+	}
+	if st.WireJSONBytes == 0 {
+		t.Error("pinned-JSON wire counted no frame bytes at all")
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
 }
 
 // TestExecBackendPropagatesCellErrors checks an application-level cell

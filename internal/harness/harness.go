@@ -390,6 +390,7 @@ func Map[T any](ctx context.Context, p *Pool, scope string, n int, fn func(ctx c
 		return fn(ctx, shard, seed)
 	}
 	specs := make([]CellSpec, n)
+	locality := localityFor(ctx, scope)
 	for i := range specs {
 		specs[i] = CellSpec{
 			Scenario: scenario,
@@ -399,6 +400,9 @@ func Map[T any](ctx context.Context, p *Pool, scope string, n int, fn func(ctx c
 			Seed:     ShardSeed(p.rootSeed, scope, i),
 			RootSeed: p.rootSeed,
 			fn:       erased,
+		}
+		if locality != nil {
+			specs[i].Locality = locality(i)
 		}
 	}
 

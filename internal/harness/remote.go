@@ -2,12 +2,19 @@ package harness
 
 // Elastic network execution: RemoteBackend is a TCP coordinator for a
 // dynamic worker fleet. Workers dial in (`stbpu-suite -worker -connect
-// host:port`), speak the same length-prefixed JSON CellSpec/CellResult
-// frames as the exec backend, and may join or leave at any point in a
-// run:
+// host:port`), speak the same length-prefixed CellSpec/CellResult
+// frames as the exec backend (JSON by default, the compact binary
+// codec when the hello/welcome handshake negotiates it — see wire.go),
+// and may join or leave at any point in a run:
 //
 //   - Batches split into chunks pulled by whichever workers are live;
-//     a worker that joins mid-run starts pulling immediately.
+//     a worker that joins mid-run starts pulling immediately. Chunks
+//     never span locality keys, and dispatch is locality-aware: a
+//     chunk prefers the worker whose trace/snapshot caches are already
+//     warm for its key (the worker that last served it, else a
+//     rendezvous-hash choice that stays stable as the fleet changes),
+//     falling back to plain oldest-first work sharing whenever the
+//     preferred worker is busy — an idle fleet never starves.
 //   - Liveness is heartbeat-based: workers send a heartbeat frame on a
 //     coordinator-chosen cadence, and a connection silent past the
 //     heartbeat timeout is declared dead. Its in-flight chunk requeues
@@ -27,6 +34,7 @@ package harness
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -58,6 +66,9 @@ type remoteHello struct {
 	Proto int `json:"proto"`
 	// Name labels the worker in fleet stats (conventionally host/pid).
 	Name string `json:"name,omitempty"`
+	// Codecs advertises the frame codecs the worker can speak beyond
+	// JSON (see wire.go); old workers omit it and stay on JSON.
+	Codecs []string `json:"codecs,omitempty"`
 }
 
 // remoteWelcome is the coordinator's handshake reply.
@@ -88,12 +99,20 @@ type remoteWelcome struct {
 	// so a bare `-worker -connect` fleet resolves the same spec
 	// workload names the coordinator schedules.
 	WorkloadSpecs []string `json:"workload_specs,omitempty"`
+	// Codec is the frame codec the coordinator selected from the
+	// hello's advertised list; empty means JSON. All frames after the
+	// handshake use it, in both directions.
+	Codec string `json:"codec,omitempty"`
 }
 
 // remoteWork is one coordinator → worker frame after the handshake.
 type remoteWork struct {
 	Seq   uint64     `json:"seq"`
 	Cells []CellSpec `json:"cells"`
+	// Prefetch names locality keys the worker is likely to serve next,
+	// so it can warm trace/snapshot tiers while computing this chunk.
+	// Advisory: results never depend on it.
+	Prefetch []string `json:"prefetch,omitempty"`
 }
 
 // remoteReply is one worker → coordinator frame after the handshake:
@@ -143,6 +162,14 @@ type RemoteBackend struct {
 	// JoinGrace is how long a Run tolerates an empty fleet — at start or
 	// after every worker died — before failing (<= 0 means 60s).
 	JoinGrace time.Duration
+	// Affinity toggles locality-aware dispatch (nil means on). With it
+	// off, dispatch is plain oldest-first work sharing and no prefetch
+	// hints are sent; results are identical either way.
+	Affinity *bool
+	// Wire selects the frame codec policy: empty negotiates the binary
+	// codec with workers that advertise it, "json" pins every worker to
+	// JSON frames.
+	Wire string
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -153,6 +180,10 @@ type RemoteBackend struct {
 	roster   []*remoteWorker // every worker that ever joined, join order
 	inflight map[uint64]*remoteChunk
 	runs     map[*remoteRun]struct{}
+	// lastServed maps a locality key to the worker that most recently
+	// received a chunk carrying it — the warmest home for the next one.
+	lastServed map[string]*remoteWorker
+	wire       wireStats
 	// lastWorkerAt is when the fleet last had a live member; JoinGrace
 	// measures from here (or from the run start, whichever is later).
 	lastWorkerAt time.Time
@@ -169,16 +200,22 @@ type RemoteBackend struct {
 // by the backend mutex except the write path (wmu serializes frame
 // writes to the connection).
 type remoteWorker struct {
-	id   int
-	name string
-	conn net.Conn
-	wmu  sync.Mutex
+	id    int
+	name  string
+	conn  net.Conn
+	codec string // negotiated frame codec ("" = JSON)
+	wmu   sync.Mutex
 
 	dead        bool
 	busy        *remoteChunk
 	cells       uint64
 	steals      uint64
 	speculative uint64
+	// served records every locality key this worker has received, so
+	// steals can prefer stragglers whose artifacts it already holds.
+	served         map[string]struct{}
+	affinityHits   uint64
+	affinityMisses uint64
 }
 
 // remoteChunk is one dispatchable slice of a run's batch. A chunk is
@@ -188,6 +225,9 @@ type remoteWorker struct {
 type remoteChunk struct {
 	run   *remoteRun
 	specs []CellSpec
+	// locality is the warm-artifact key shared by every spec in the
+	// chunk (chunking never mixes keys; "" when cells carry none).
+	locality string
 	// seq is the wire id of the current dispatch (0 when pending).
 	seq      uint64
 	worker   *remoteWorker
@@ -284,6 +324,7 @@ func (b *RemoteBackend) Start() (net.Addr, error) {
 		b.fleet = map[*remoteWorker]struct{}{}
 		b.inflight = map[uint64]*remoteChunk{}
 		b.runs = map[*remoteRun]struct{}{}
+		b.lastServed = map[string]*remoteWorker{}
 	}
 	go b.acceptLoop(ln)
 	return ln.Addr(), nil
@@ -299,15 +340,18 @@ func (b *RemoteBackend) acceptLoop(ln net.Listener) {
 	}
 }
 
-// admit runs the handshake and, on success, adds the worker to the
-// fleet and starts its read loop.
+// admit runs the handshake (always JSON-framed) and, on success, adds
+// the worker to the fleet and starts its read loop.
 func (b *RemoteBackend) admit(conn net.Conn) {
 	_ = conn.SetDeadline(time.Now().Add(remoteHandshakeTimeout))
 	var hello remoteHello
-	if err := readFrame(conn, &hello); err != nil || hello.Proto != remoteProtoVersion {
+	n, err := readJSONFrame(conn, &hello)
+	if err != nil || hello.Proto != remoteProtoVersion {
 		conn.Close()
 		return
 	}
+	b.wire.count("", n)
+	codec := negotiateCodec(hello.Codecs, b.Wire)
 	welcome := remoteWelcome{
 		Proto:         remoteProtoVersion,
 		HeartbeatMS:   heartbeatInterval(b.heartbeatTimeout()).Milliseconds(),
@@ -317,11 +361,14 @@ func (b *RemoteBackend) admit(conn net.Conn) {
 		Snapshots:     b.Snapshots,
 		SnapDir:       b.SnapDir,
 		WorkloadSpecs: b.WorkloadSpecs,
+		Codec:         codec,
 	}
-	if err := writeFrame(conn, welcome); err != nil {
+	n, err = writeJSONFrame(conn, welcome)
+	if err != nil {
 		conn.Close()
 		return
 	}
+	b.wire.count("", n)
 	_ = conn.SetDeadline(time.Time{})
 	if tc, ok := conn.(*net.TCPConn); ok {
 		_ = tc.SetKeepAlive(true)
@@ -337,7 +384,7 @@ func (b *RemoteBackend) admit(conn net.Conn) {
 	if name == "" {
 		name = "worker"
 	}
-	w := &remoteWorker{id: b.nextID, name: fmt.Sprintf("%s#%d", name, b.nextID), conn: conn}
+	w := &remoteWorker{id: b.nextID, name: fmt.Sprintf("%s#%d", name, b.nextID), conn: conn, codec: codec, served: map[string]struct{}{}}
 	b.nextID++
 	b.joins++
 	b.fleet[w] = struct{}{}
@@ -370,8 +417,29 @@ func heartbeatInterval(timeout time.Duration) time.Duration {
 func (b *RemoteBackend) serveWorker(w *remoteWorker) {
 	for {
 		_ = w.conn.SetReadDeadline(time.Now().Add(b.heartbeatTimeout()))
+		payload, err := readRawFrame(w.conn)
+		if err != nil {
+			b.failWorker(w, err)
+			return
+		}
+		b.wire.count(w.codec, len(payload))
 		var reply remoteReply
-		if err := readFrame(w.conn, &reply); err != nil {
+		if len(payload) > 0 && payload[0] == binMagic {
+			m, err := decodeWireMsg(payload)
+			if err != nil {
+				b.failWorker(w, err)
+				return
+			}
+			switch m.kind {
+			case wireKindHeartbeat:
+				reply.Type = "heartbeat"
+			case wireKindResults:
+				reply = remoteReply{Type: "results", Seq: m.seq, Results: m.results, Err: m.err, Permanent: m.permanent}
+			default:
+				b.failWorker(w, fmt.Errorf("frame kind %d from worker", m.kind))
+				return
+			}
+		} else if err := json.Unmarshal(payload, &reply); err != nil {
 			b.failWorker(w, err)
 			return
 		}
@@ -531,30 +599,132 @@ func (b *RemoteBackend) failRunLocked(run *remoteRun, err error) {
 	close(run.done)
 }
 
-// dispatchLocked pairs idle workers with work: queued chunks first, then
-// speculative clones of stragglers. Requires b.mu; the actual frame
-// write happens on a fresh goroutine so the scheduler never blocks on a
-// slow connection.
+// affinityOn resolves the tri-state Affinity flag (nil means on).
+func (b *RemoteBackend) affinityOn() bool { return b.Affinity == nil || *b.Affinity }
+
+// preferredWorkerLocked is the worker a locality key should land on:
+// the worker that last served it while that worker remains live, else
+// the rendezvous-hash champion among the live fleet. Rendezvous keeps
+// placement stable as workers join and leave — only keys whose
+// champion departed move. Requires b.mu.
+func (b *RemoteBackend) preferredWorkerLocked(loc string) *remoteWorker {
+	if w, ok := b.lastServed[loc]; ok && !w.dead {
+		if _, live := b.fleet[w]; live {
+			return w
+		}
+	}
+	var best *remoteWorker
+	var bestScore uint64
+	for w := range b.fleet {
+		if w.dead {
+			continue
+		}
+		score := fnv1a(loc + "\x00" + w.name)
+		if best == nil || score > bestScore || (score == bestScore && w.id < best.id) {
+			best, bestScore = w, score
+		}
+	}
+	return best
+}
+
+// dispatchLocked pairs idle workers with work. With affinity on, a
+// first pass sends every pending chunk whose preferred worker is idle
+// to that worker — holding a chunk for its warm home while the home is
+// idle costs nothing. The second pass is plain work sharing: remaining
+// idle workers drain the queue oldest-first (so an idle fleet never
+// starves behind affinity), then speculate on stragglers. Requires
+// b.mu; frame writes happen on fresh goroutines so the scheduler never
+// blocks on a slow connection.
 func (b *RemoteBackend) dispatchLocked() {
+	if b.affinityOn() {
+		for run := range b.runs {
+			kept := run.pending[:0]
+			for _, c := range run.pending {
+				var w *remoteWorker
+				if c.locality != "" {
+					w = b.preferredWorkerLocked(c.locality)
+				}
+				if w != nil && !w.dead && w.busy == nil {
+					b.assignLocked(w, c)
+				} else {
+					kept = append(kept, c)
+				}
+			}
+			run.pending = kept
+		}
+	}
 	for {
 		w := b.idleWorkerLocked()
 		if w == nil {
 			return
 		}
-		chunk := b.nextChunkLocked()
+		chunk := b.nextChunkLocked(w)
 		if chunk == nil {
 			return
 		}
-		b.nextSeq++
-		chunk.seq = b.nextSeq
-		chunk.worker = w
-		chunk.sentAt = time.Now()
-		chunk.attempts++
-		w.busy = chunk
-		b.inflight[chunk.seq] = chunk
-		chunk.run.inflight[chunk] = struct{}{}
-		go b.send(w, remoteWork{Seq: chunk.seq, Cells: chunk.specs})
+		b.assignLocked(w, chunk)
 	}
+}
+
+// assignLocked dispatches one chunk on one idle worker: affinity
+// accounting, seq/inflight bookkeeping, and the async frame write.
+// Requires b.mu.
+func (b *RemoteBackend) assignLocked(w *remoteWorker, chunk *remoteChunk) {
+	if loc := chunk.locality; loc != "" {
+		// Hit/miss is judged against the preference before this very
+		// assignment updates it; speculative clones are deliberate
+		// cross-worker duplicates and stay out of the counters.
+		if !chunk.speculative && b.affinityOn() {
+			if b.preferredWorkerLocked(loc) == w {
+				w.affinityHits++
+			} else {
+				w.affinityMisses++
+			}
+		}
+		b.lastServed[loc] = w
+		if w.served == nil {
+			w.served = map[string]struct{}{}
+		}
+		w.served[loc] = struct{}{}
+	}
+	b.nextSeq++
+	chunk.seq = b.nextSeq
+	chunk.worker = w
+	chunk.sentAt = time.Now()
+	chunk.attempts++
+	w.busy = chunk
+	b.inflight[chunk.seq] = chunk
+	chunk.run.inflight[chunk] = struct{}{}
+	work := remoteWork{Seq: chunk.seq, Cells: chunk.specs}
+	if b.affinityOn() {
+		work.Prefetch = b.prefetchHintLocked(w, chunk)
+	}
+	go b.send(w, work)
+}
+
+// prefetchHintLocked names up to two locality keys w is likely to
+// serve after chunk — pending chunks preferring w whose key differs
+// from the one just dispatched — so the worker overlaps artifact loads
+// with compute. Requires b.mu.
+func (b *RemoteBackend) prefetchHintLocked(w *remoteWorker, chunk *remoteChunk) []string {
+	var hints []string
+	seen := map[string]bool{chunk.locality: true, "": true}
+	for run := range b.runs {
+		for _, c := range run.pending {
+			if seen[c.locality] {
+				continue
+			}
+			if b.preferredWorkerLocked(c.locality) != w {
+				continue
+			}
+			seen[c.locality] = true
+			hints = append(hints, c.locality)
+			if len(hints) == 2 {
+				return hints
+			}
+		}
+	}
+	return hints
 }
 
 // idleWorkerLocked returns a live idle worker, if any.
@@ -567,25 +737,40 @@ func (b *RemoteBackend) idleWorkerLocked() *remoteWorker {
 	return nil
 }
 
-// nextChunkLocked picks the next chunk to dispatch: a queued chunk of
-// any active run, else a speculative clone of a straggler.
-func (b *RemoteBackend) nextChunkLocked() *remoteChunk {
+// nextChunkLocked picks the next chunk for w: a queued chunk — one
+// whose key w already serves when affinity is on, else the oldest —
+// else a speculative clone of a straggler.
+func (b *RemoteBackend) nextChunkLocked(w *remoteWorker) *remoteChunk {
 	for run := range b.runs {
 		if len(run.pending) == 0 {
 			continue
 		}
-		chunk := run.pending[0]
-		run.pending = run.pending[1:]
+		pick := 0
+		if b.affinityOn() {
+			for i, c := range run.pending {
+				if c.locality == "" {
+					continue
+				}
+				if _, ok := w.served[c.locality]; ok {
+					pick = i
+					break
+				}
+			}
+		}
+		chunk := run.pending[pick]
+		run.pending = append(run.pending[:pick], run.pending[pick+1:]...)
 		return chunk
 	}
-	return b.speculateLocked()
+	return b.speculateLocked(w)
 }
 
-// speculateLocked clones the oldest straggling in-flight chunk for
-// re-execution, or returns nil if nothing qualifies.
-func (b *RemoteBackend) speculateLocked() *remoteChunk {
+// speculateLocked clones a straggling in-flight chunk for w to
+// re-execute — preferring, with affinity on, the oldest straggler
+// whose key w has served (its artifacts are already warm), else the
+// oldest overall — or returns nil if nothing qualifies.
+func (b *RemoteBackend) speculateLocked(w *remoteWorker) *remoteChunk {
 	now := time.Now()
-	var oldest *remoteChunk
+	var oldest, oldestServed *remoteChunk
 	for run := range b.runs {
 		threshold := b.stragglerThreshold(run)
 		for c := range run.inflight {
@@ -601,17 +786,29 @@ func (b *RemoteBackend) speculateLocked() *remoteChunk {
 			if oldest == nil || c.sentAt.Before(oldest.sentAt) {
 				oldest = c
 			}
+			if c.locality != "" {
+				if _, ok := w.served[c.locality]; ok {
+					if oldestServed == nil || c.sentAt.Before(oldestServed.sentAt) {
+						oldestServed = c
+					}
+				}
+			}
 		}
 	}
-	if oldest == nil {
+	pick := oldest
+	if b.affinityOn() && oldestServed != nil {
+		pick = oldestServed
+	}
+	if pick == nil {
 		return nil
 	}
-	oldest.clones++
+	pick.clones++
 	return &remoteChunk{
-		run:         oldest.run,
-		specs:       missingSpecs(oldest.run, oldest.specs),
+		run:         pick.run,
+		specs:       missingSpecs(pick.run, pick.specs),
+		locality:    pick.locality,
 		speculative: true,
-		source:      oldest,
+		source:      pick,
 	}
 }
 
@@ -630,12 +827,23 @@ func (b *RemoteBackend) stragglerThreshold(run *remoteRun) time.Duration {
 	return th
 }
 
-// send writes one work frame, failing the worker on error.
+// send writes one work frame in the worker's codec, failing the worker
+// on error.
 func (b *RemoteBackend) send(w *remoteWorker, work remoteWork) {
-	w.wmu.Lock()
-	_ = w.conn.SetWriteDeadline(time.Now().Add(remoteHandshakeTimeout))
-	err := writeFrame(w.conn, work)
-	w.wmu.Unlock()
+	var payload []byte
+	var err error
+	if w.codec == wireCodecBinary {
+		payload = encodeWireMsg(&wireMsg{kind: wireKindWork, seq: work.Seq, cells: work.Cells, prefetch: work.Prefetch})
+	} else {
+		payload, err = json.Marshal(work)
+	}
+	if err == nil {
+		b.wire.count(w.codec, len(payload))
+		w.wmu.Lock()
+		_ = w.conn.SetWriteDeadline(time.Now().Add(remoteHandshakeTimeout))
+		err = writeRawFrame(w.conn, payload)
+		w.wmu.Unlock()
+	}
 	if err != nil {
 		b.failWorker(w, fmt.Errorf("send chunk: %w", err))
 	}
@@ -680,12 +888,28 @@ func (b *RemoteBackend) Run(ctx context.Context, specs []CellSpec) ([]CellResult
 	if chunkSize < 1 {
 		chunkSize = 1
 	}
-	for off := 0; off < len(specs); off += chunkSize {
-		end := off + chunkSize
-		if end > len(specs) {
-			end = len(specs)
+	// Chunks group by locality key (first-appearance order — specs
+	// arrive in shard order, so this is stable and results merge
+	// identically) and never span two keys: affinity routing then has
+	// clean units to place, and a chunk's cells always share their warm
+	// artifacts.
+	order := make([]string, 0, 8)
+	byLoc := map[string][]CellSpec{}
+	for _, s := range specs {
+		if _, ok := byLoc[s.Locality]; !ok {
+			order = append(order, s.Locality)
 		}
-		run.pending = append(run.pending, &remoteChunk{run: run, specs: specs[off:end]})
+		byLoc[s.Locality] = append(byLoc[s.Locality], s)
+	}
+	for _, loc := range order {
+		group := byLoc[loc]
+		for off := 0; off < len(group); off += chunkSize {
+			end := off + chunkSize
+			if end > len(group) {
+				end = len(group)
+			}
+			run.pending = append(run.pending, &remoteChunk{run: run, specs: group[off:end], locality: loc})
+		}
 	}
 	b.runs[run] = struct{}{}
 	b.dispatchLocked()
@@ -785,9 +1009,10 @@ func (b *RemoteBackend) BackendStats() []BackendStats {
 	for _, w := range b.roster {
 		ws = append(ws, WorkerStats{
 			Worker: w.name, Cells: w.cells, Steals: w.steals, Speculative: w.speculative,
+			AffinityHits: w.affinityHits, AffinityMisses: w.affinityMisses,
 		})
 	}
-	return []BackendStats{{
+	stats := BackendStats{
 		Backend: b.Name(),
 		Cells:   b.cellsTotal,
 		Retries: b.retries,
@@ -795,7 +1020,9 @@ func (b *RemoteBackend) BackendStats() []BackendStats {
 		Joins:   b.joins,
 		Leaves:  b.leaves,
 		Workers: ws,
-	}}
+	}
+	b.wire.fill(&stats)
+	return []BackendStats{stats}
 }
 
 // Close shuts the coordinator down: the listener stops accepting,
@@ -853,7 +1080,12 @@ func ServeRemoteWorker(ctx context.Context, addr string, opts WorkerOptions) err
 		host = "worker"
 	}
 	_ = conn.SetDeadline(time.Now().Add(remoteHandshakeTimeout))
-	if err := writeFrame(conn, remoteHello{Proto: remoteProtoVersion, Name: fmt.Sprintf("%s/%d", host, os.Getpid())}); err != nil {
+	hello := remoteHello{
+		Proto:  remoteProtoVersion,
+		Name:   fmt.Sprintf("%s/%d", host, os.Getpid()),
+		Codecs: wireOffer(opts.Wire),
+	}
+	if err := writeFrame(conn, hello); err != nil {
 		return fmt.Errorf("worker: hello: %w", err)
 	}
 	var welcome remoteWelcome
@@ -863,6 +1095,12 @@ func ServeRemoteWorker(ctx context.Context, addr string, opts WorkerOptions) err
 	if welcome.Proto != remoteProtoVersion {
 		return fmt.Errorf("worker: coordinator speaks protocol %d, want %d", welcome.Proto, remoteProtoVersion)
 	}
+	switch welcome.Codec {
+	case "", wireCodecBinary:
+	default:
+		return fmt.Errorf("worker: coordinator selected unknown codec %q", welcome.Codec)
+	}
+	codec := welcome.Codec
 	_ = conn.SetDeadline(time.Time{})
 	if opts.TraceDir == "" {
 		opts.TraceDir = welcome.TraceDir
@@ -897,10 +1135,23 @@ func ServeRemoteWorker(ctx context.Context, addr string, opts WorkerOptions) err
 
 	var wmu sync.Mutex
 	send := func(reply remoteReply) error {
+		var payload []byte
+		var err error
+		if codec == wireCodecBinary {
+			m := wireMsg{seq: reply.Seq, results: reply.Results, err: reply.Err, permanent: reply.Permanent}
+			if reply.Type == "heartbeat" {
+				m.kind = wireKindHeartbeat
+			} else {
+				m.kind = wireKindResults
+			}
+			payload = encodeWireMsg(&m)
+		} else if payload, err = json.Marshal(reply); err != nil {
+			return err
+		}
 		wmu.Lock()
 		defer wmu.Unlock()
 		_ = conn.SetWriteDeadline(time.Now().Add(remoteHandshakeTimeout))
-		return writeFrame(conn, reply)
+		return writeRawFrame(conn, payload)
 	}
 
 	// The connection doubles as the cancellation signal: closing it
@@ -934,8 +1185,8 @@ func ServeRemoteWorker(ctx context.Context, addr string, opts WorkerOptions) err
 	}()
 
 	for {
-		var work remoteWork
-		if err := readFrame(conn, &work); err != nil {
+		payload, err := readRawFrame(conn)
+		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
@@ -943,6 +1194,19 @@ func ServeRemoteWorker(ctx context.Context, addr string, opts WorkerOptions) err
 				return nil // coordinator closed the connection: clean shutdown
 			}
 			return fmt.Errorf("worker: read chunk: %w", err)
+		}
+		var work remoteWork
+		if len(payload) > 0 && payload[0] == binMagic {
+			m, err := decodeWireMsg(payload)
+			if err != nil {
+				return fmt.Errorf("worker: read chunk: %w", err)
+			}
+			work = remoteWork{Seq: m.seq, Cells: m.cells, Prefetch: m.prefetch}
+		} else if err := json.Unmarshal(payload, &work); err != nil {
+			return fmt.Errorf("worker: read chunk: %w", err)
+		}
+		if len(work.Prefetch) > 0 {
+			env.prefetch(work.Prefetch)
 		}
 		reply := remoteReply{Type: "results", Seq: work.Seq}
 		results, err := executeCells(ctx, work.Cells, env)

@@ -9,6 +9,8 @@ package harness
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -47,6 +49,56 @@ func withTraceMajorWant(ctx context.Context, scope string, want map[int]bool) co
 	return context.WithValue(ctx, traceMajorWantKey{}, traceMajorWant{scope: scope, want: want})
 }
 
+// Locality formats the canonical locality key for the trace artifact a
+// cell replays: the workload (or spec content-hash) name plus the
+// record count, which together address one tracestore entry and one
+// snapstore spill family. Locality-aware backends use the key for
+// routing and prefetch only — it never influences results.
+func Locality(workload string, records int) string {
+	return workload + "@" + strconv.Itoa(records)
+}
+
+// SplitLocality parses a Locality key back into its workload name and
+// record count. Workload names may themselves contain '@' (none do
+// today, but spec hashes are open-ended), so the split is at the last
+// separator.
+func SplitLocality(key string) (workload string, records int, ok bool) {
+	i := strings.LastIndexByte(key, '@')
+	if i < 0 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(key[i+1:])
+	if err != nil || n < 0 {
+		return "", 0, false
+	}
+	return key[:i], n, true
+}
+
+// cellLocalityKey carries the per-shard locality labeler from
+// MapTraceMajor to Map in the context, scoped to one cell space, so
+// Map can stamp CellSpec.Locality without changing its signature for
+// ungrouped callers.
+type cellLocalityKey struct{}
+
+type cellLocality struct {
+	scope string
+	fn    func(shard int) string
+}
+
+func withCellLocality(ctx context.Context, scope string, fn func(shard int) string) context.Context {
+	if fn == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, cellLocalityKey{}, cellLocality{scope: scope, fn: fn})
+}
+
+func localityFor(ctx context.Context, scope string) func(int) string {
+	if l, ok := ctx.Value(cellLocalityKey{}).(cellLocality); ok && l.scope == scope {
+		return l.fn
+	}
+	return nil
+}
+
 // MapTraceMajor runs a grouped cell space: key assigns each shard to a
 // group (cells sharing a workload trace), and run executes one whole
 // group — shards in ascending order with their ShardSeeds — returning
@@ -56,6 +108,12 @@ func withTraceMajorWant(ctx context.Context, scope string, want map[int]bool) co
 // execute computes the whole group in one pass (one trace residency, N
 // models) and groupmates reuse the memo.
 //
+// locality labels each shard's cell spec with the warm-artifact key the
+// group replays (see Locality); nil leaves specs unlabeled. The label
+// feeds locality-aware routing and prefetch in wire backends and is
+// stamped on the model-major fallback path too — pure metadata either
+// way.
+//
 // run must be a pure function of the (shards, seeds) it is given, with
 // results independent of how shards are grouped — sim.RunColumnsMulti's
 // contract. Under that contract the output is bit-identical to Map over
@@ -63,10 +121,12 @@ func withTraceMajorWant(ctx context.Context, scope string, want map[int]bool) co
 // any backend, at any worker count.
 func MapTraceMajor[T any](ctx context.Context, p *Pool, scope string, n int,
 	key func(shard int) int,
+	locality func(shard int) string,
 	run func(ctx context.Context, shards []int, seeds []uint64) ([]T, error)) ([]T, error) {
 	if p == nil {
 		p = Default()
 	}
+	ctx = withCellLocality(ctx, scope, locality)
 	single := func(ctx context.Context, shard int, seed uint64) (T, error) {
 		var zero T
 		res, err := run(ctx, []int{shard}, []uint64{seed})

@@ -53,7 +53,7 @@ func TestMapTraceMajorMatchesMap(t *testing.T) {
 			t.Fatalf("TraceMajor() = %v after SetTraceMajor(%v)", pool.TraceMajor(), traceMajor)
 		}
 		var calls atomic.Uint64
-		got, err := MapTraceMajor(context.Background(), pool, "tm-scope", n, key, groupedRun(&calls, nil))
+		got, err := MapTraceMajor(context.Background(), pool, "tm-scope", n, key, nil, groupedRun(&calls, nil))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,6 +77,7 @@ func TestMapTraceMajorSeeds(t *testing.T) {
 	pool := NewPool(1, 7)
 	_, err := MapTraceMajor(context.Background(), pool, "tm-seeds", n,
 		func(shard int) int { return shard % 2 },
+		nil,
 		func(ctx context.Context, shards []int, seeds []uint64) ([]struct{}, error) {
 			if len(shards) != n/2 {
 				return nil, fmt.Errorf("group of %d shards, want %d", len(shards), n/2)
@@ -117,7 +118,7 @@ func TestMapTraceMajorWantFilter(t *testing.T) {
 	var calls atomic.Uint64
 	sizes := make(chan int, n)
 	ctx := withTraceMajorWant(context.Background(), "tm-filter", want)
-	_, err := MapTraceMajor(ctx, pool, "tm-filter", n, key, groupedRun(&calls, sizes))
+	_, err := MapTraceMajor(ctx, pool, "tm-filter", n, key, nil, groupedRun(&calls, sizes))
 	if !errors.Is(err, errCellsCaptured) {
 		t.Fatalf("err = %v, want errCellsCaptured", err)
 	}
@@ -148,12 +149,93 @@ func TestMapTraceMajorWantFilter(t *testing.T) {
 	}
 }
 
+// specRecordingBackend captures the specs Map hands its backend so
+// tests can inspect stamped metadata (Locality).
+type specRecordingBackend struct {
+	inner *LocalBackend
+	specs []CellSpec
+}
+
+func (b *specRecordingBackend) Name() string { return "spec-recorder" }
+func (b *specRecordingBackend) Close() error { return nil }
+func (b *specRecordingBackend) Run(ctx context.Context, specs []CellSpec) ([]CellResult, error) {
+	b.specs = append(b.specs, specs...)
+	return b.inner.Run(ctx, specs)
+}
+
+// TestMapTraceMajorLocality pins that the locality labeler stamps every
+// cell spec — on the grouped path and on the model-major fallback — and
+// that the label is the scheduling-only metadata the contract promises
+// (results identical with and without it).
+func TestMapTraceMajorLocality(t *testing.T) {
+	const n, groupSize = 6, 3
+	key := func(shard int) int { return shard / groupSize }
+	loc := func(shard int) string { return Locality("wl", shard/groupSize) }
+
+	for _, traceMajor := range []bool{true, false} {
+		rec := &specRecordingBackend{inner: NewLocalBackend(2)}
+		pool := NewPool(2, 42)
+		pool.SetBackend(rec)
+		pool.SetTraceMajor(traceMajor)
+		var calls atomic.Uint64
+		got, err := MapTraceMajor(context.Background(), pool, "tm-loc", n, key, loc, groupedRun(&calls, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Map(context.Background(), NewPool(2, 42), "tm-loc", n,
+			func(ctx context.Context, shard int, seed uint64) (uint64, error) {
+				return traceMajorCell(shard, seed), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("trace-major=%v: locality-labeled results diverge from Map", traceMajor)
+		}
+		if len(rec.specs) != n {
+			t.Fatalf("backend saw %d specs, want %d", len(rec.specs), n)
+		}
+		for _, s := range rec.specs {
+			if want := Locality("wl", s.Shard/groupSize); s.Locality != want {
+				t.Errorf("trace-major=%v: shard %d locality %q, want %q", traceMajor, s.Shard, s.Locality, want)
+			}
+		}
+	}
+}
+
+// TestLocalityRoundTrip pins the key format both ends rely on: workers
+// SplitLocality what coordinators Locality'd, including names that
+// themselves contain the separator.
+func TestLocalityRoundTrip(t *testing.T) {
+	cases := []struct {
+		workload string
+		records  int
+	}{
+		{"505.mcf", 100000},
+		{"spec-ab12cd34", 0},
+		{"odd@name", 7},
+	}
+	for _, c := range cases {
+		key := Locality(c.workload, c.records)
+		wl, rec, ok := SplitLocality(key)
+		if !ok || wl != c.workload || rec != c.records {
+			t.Errorf("SplitLocality(%q) = (%q, %d, %v), want (%q, %d, true)", key, wl, rec, ok, c.workload, c.records)
+		}
+	}
+	for _, bad := range []string{"", "no-separator", "wl@", "wl@-3", "wl@x"} {
+		if _, _, ok := SplitLocality(bad); ok {
+			t.Errorf("SplitLocality(%q) ok, want failure", bad)
+		}
+	}
+}
+
 // TestMapTraceMajorGroupError: a failing group surfaces through every
 // member cell and Map reports the lowest-shard root cause.
 func TestMapTraceMajorGroupError(t *testing.T) {
 	boom := errors.New("boom")
 	_, err := MapTraceMajor(context.Background(), NewPool(2, 1), "tm-err", 6,
 		func(shard int) int { return shard / 3 },
+		nil,
 		func(ctx context.Context, shards []int, seeds []uint64) ([]int, error) {
 			if shards[0] == 3 {
 				return nil, boom

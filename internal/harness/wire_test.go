@@ -1,0 +1,191 @@
+package harness
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// wireTestSpecs builds a representative trace-major batch: n cells
+// across a handful of workloads with populated params, sweeps, and
+// locality keys, the shape the suite actually ships to workers.
+func wireTestSpecs(n int) []CellSpec {
+	workloads := []string{"505.mcf", "531.deepsjeng", "541.leela", "557.xz"}
+	specs := make([]CellSpec, n)
+	for i := range specs {
+		wl := workloads[i%len(workloads)]
+		specs[i] = CellSpec{
+			Scenario: "tab3_attacks",
+			Scope:    "pairs",
+			Shard:    i,
+			Seed:     ShardSeed(0x5eed, "pairs", i),
+			RootSeed: 0x5eed,
+			Locality: Locality(wl, 20000),
+			Params: Params{
+				Records:      20000,
+				MaxWorkloads: 8,
+				MaxPairs:     12,
+				Trials:       40,
+				Budget:       4096,
+				Bits:         64,
+				R:            1.25,
+				Sweep:        []float64{0.5, 1, 1.5, 2, 2.5},
+				Workload:     wl,
+				WorkloadSpec: "spec:browser_tabbed@deadbeef",
+			},
+		}
+	}
+	return specs
+}
+
+func TestWireMsgRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		msg  wireMsg
+	}{
+		{"work", wireMsg{
+			kind:     wireKindWork,
+			seq:      42,
+			cells:    wireTestSpecs(5),
+			prefetch: []string{"505.mcf@20000", "541.leela@20000"},
+		}},
+		{"work-empty", wireMsg{kind: wireKindWork, seq: 7}},
+		{"results", wireMsg{
+			kind: wireKindResults,
+			seq:  42,
+			results: []CellResult{
+				{Shard: 0, Value: json.RawMessage(`{"leak":0.25}`), ElapsedUS: 1234},
+				{Shard: 1, Err: "replay diverged", Canceled: true},
+				{Shard: 2},
+			},
+		}},
+		{"results-batch-error", wireMsg{
+			kind:      wireKindResults,
+			seq:       9,
+			err:       "trace store unavailable",
+			permanent: true,
+		}},
+		{"heartbeat", wireMsg{kind: wireKindHeartbeat, seq: 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			payload := encodeWireMsg(&tc.msg)
+			if len(payload) == 0 || payload[0] != binMagic {
+				t.Fatalf("payload does not start with the binary magic byte: % x", payload[:min(len(payload), 4)])
+			}
+			got, err := decodeWireMsg(payload)
+			if err != nil {
+				t.Fatalf("decodeWireMsg: %v", err)
+			}
+			if !reflect.DeepEqual(*got, tc.msg) {
+				t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", *got, tc.msg)
+			}
+		})
+	}
+}
+
+func TestWireMsgDecodeErrors(t *testing.T) {
+	good := encodeWireMsg(&wireMsg{kind: wireKindWork, seq: 1, cells: wireTestSpecs(1)})
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"short", []byte{binMagic, binVersion}},
+		{"json-not-binary", []byte(`{"seq":1,"cells":[]}`)},
+		{"bad-magic", append([]byte{0x00}, good[1:]...)},
+		{"bad-version", append([]byte{binMagic, binVersion + 1}, good[2:]...)},
+		{"unknown-kind", []byte{binMagic, binVersion, 0x7f, 0, 0, 0, 0, 0, 0, 0, 0}},
+		{"trailing-bytes", append(append([]byte(nil), good...), 0xff)},
+		{"truncated-body", good[:len(good)-3]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := decodeWireMsg(tc.payload); err == nil {
+				t.Fatalf("decodeWireMsg accepted a corrupt payload")
+			}
+		})
+	}
+}
+
+func TestWireOfferAndNegotiate(t *testing.T) {
+	if got := wireOffer(""); len(got) != 1 || got[0] != wireCodecBinary {
+		t.Fatalf("wireOffer(\"\") = %v, want [%s]", got, wireCodecBinary)
+	}
+	if got := wireOffer(wireForceJSON); got != nil {
+		t.Fatalf("wireOffer(json) = %v, want nil", got)
+	}
+	cases := []struct {
+		offered []string
+		wire    string
+		want    string
+	}{
+		{[]string{wireCodecBinary}, "", wireCodecBinary},
+		{[]string{"future9", wireCodecBinary}, "", wireCodecBinary},
+		{[]string{"future9"}, "", ""},
+		{nil, "", ""},
+		{[]string{wireCodecBinary}, wireForceJSON, ""},
+	}
+	for _, tc := range cases {
+		if got := negotiateCodec(tc.offered, tc.wire); got != tc.want {
+			t.Fatalf("negotiateCodec(%v, %q) = %q, want %q", tc.offered, tc.wire, got, tc.want)
+		}
+	}
+}
+
+// The benchmarks measure one dispatch round trip for a representative
+// 64-cell trace-major batch: coordinator-side encode plus worker-side
+// decode, the work the wire adds to every chunk. The binary codec must
+// beat JSON by a wide margin (the bench gate records both).
+
+func benchWorkMsg() *wireMsg {
+	return &wireMsg{
+		kind:     wireKindWork,
+		seq:      17,
+		cells:    wireTestSpecs(64),
+		prefetch: []string{"531.deepsjeng@20000", "557.xz@20000"},
+	}
+}
+
+func BenchmarkWireSpecsJSON(b *testing.B) {
+	msg := benchWorkMsg()
+	work := remoteWork{Seq: msg.seq, Cells: msg.cells, Prefetch: msg.prefetch}
+	payload, err := json.Marshal(&work)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := json.Marshal(&work)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var got remoteWork
+		if err := json.Unmarshal(p, &got); err != nil {
+			b.Fatal(err)
+		}
+		if len(got.Cells) != len(work.Cells) {
+			b.Fatal("lost cells in transit")
+		}
+	}
+}
+
+func BenchmarkWireSpecsBinary(b *testing.B) {
+	msg := benchWorkMsg()
+	payload := encodeWireMsg(msg)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := encodeWireMsg(msg)
+		got, err := decodeWireMsg(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got.cells) != len(msg.cells) {
+			b.Fatal("lost cells in transit")
+		}
+	}
+}

@@ -45,7 +45,17 @@ func (s *Store) diskPath(k Key) string {
 	h.Write([]byte(k.Model))
 	h.Write([]byte{0})
 	h.Write([]byte(k.Workload))
-	sanitized := strings.Map(func(r rune) rune {
+	s.mu.Lock()
+	dir := s.dir
+	s.mu.Unlock()
+	return filepath.Join(dir, fmt.Sprintf("%s-%016x@%d+%d.snap", sanitizeWorkload(k.Workload), h.Sum64(), k.Records, k.Offset))
+}
+
+// sanitizeWorkload maps a workload name onto the filename-safe alphabet
+// spill names use. The output contains no glob metacharacters, so it is
+// safe to embed in a Prefetch pattern.
+func sanitizeWorkload(workload string) string {
+	return strings.Map(func(r rune) rune {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
 			r == '.', r == '_', r == '-':
@@ -53,11 +63,45 @@ func (s *Store) diskPath(k Key) string {
 		default:
 			return '_'
 		}
-	}, k.Workload)
+	}, workload)
+}
+
+// prefetchBudgetBytes bounds how much spill data one Prefetch pulls
+// into the page cache.
+const prefetchBudgetBytes = 256 << 20
+
+// Prefetch warms the disk tier for a workload's checkpoints in the
+// background — the dispatch-time hint path. Full Keys cannot be
+// reconstructed at dispatch time (they embed the model fingerprint the
+// coordinator does not track), so prefetch works at the file level:
+// every spill whose name carries the workload is read once and
+// discarded, leaving the bytes hot in the OS page cache for the
+// loadDisk that follows. Advisory: errors are swallowed and state is
+// untouched, so results can never depend on it.
+func (s *Store) Prefetch(workload string) {
 	s.mu.Lock()
 	dir := s.dir
 	s.mu.Unlock()
-	return filepath.Join(dir, fmt.Sprintf("%s-%016x@%d+%d.snap", sanitized, h.Sum64(), k.Records, k.Offset))
+	if dir == "" {
+		return
+	}
+	go func() {
+		matches, err := filepath.Glob(filepath.Join(dir, sanitizeWorkload(workload)+"-*.snap"))
+		if err != nil {
+			return
+		}
+		var total int64
+		for _, m := range matches {
+			st, err := os.Stat(m)
+			if err != nil {
+				continue
+			}
+			if total += st.Size(); total > prefetchBudgetBytes {
+				return
+			}
+			_, _ = os.ReadFile(m)
+		}
+	}()
 }
 
 // loadDisk tries to satisfy a miss from a spill file. A missing file is

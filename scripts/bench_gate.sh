@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Perf-trend gate: run the replay-path, predictor, and trace-generator
-# micro-benchmarks, write BENCH_9.json (benchmark -> ns/op, allocs/op),
-# and fail when a metric regresses against the committed baseline.
+# Perf-trend gate: run the replay-path, predictor, trace-generator, and
+# wire-codec micro-benchmarks, write BENCH_10.json (benchmark -> ns/op,
+# allocs/op), and fail when a metric regresses against the committed
+# baseline. Fleet benchmarks (harness/FleetWarm*) are recorded for trend
+# visibility but never threshold-gated: they time a live 2-worker TCP
+# fleet, where scheduler and network jitter dwarfs any micro-regression.
 #
 # usage: scripts/bench_gate.sh [-update]
-#   -update    rewrite BENCH_9.json as the new baseline and skip the gate
+#   -update    rewrite BENCH_10.json as the new baseline and skip the gate
 #
 # env knobs:
 #   BENCH_GATE_BENCHTIME        go test -benchtime (default 0.3s)
@@ -34,7 +37,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_9.json
+OUT=BENCH_10.json
 BENCHTIME="${BENCH_GATE_BENCHTIME:-0.3s}"
 COUNT="${BENCH_GATE_COUNT:-3}"
 NS_THR="${BENCH_GATE_NS_THRESHOLD:-0.10}"
@@ -64,6 +67,12 @@ fi
 
 echo "bench_gate: running ${PKGS[*]} at -benchtime $BENCHTIME -count $COUNT" >&2
 raw=$(go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" -count "$COUNT" "${PKGS[@]}")
+# The harness package holds the wire-codec and fleet benchmarks; its
+# whole-suite benchmark (Fig3Fig4) is excluded — it times entire
+# scenario runs, too coarse for a micro-benchmark gate.
+echo "bench_gate: running ./internal/harness/ (WireSpecs, FleetWarm) at -benchtime $BENCHTIME -count $COUNT" >&2
+raw="$raw
+$(go test -run '^$' -bench 'BenchmarkWireSpecs|BenchmarkFleetWarm' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" ./internal/harness/)"
 
 # "pkg: stbpu/internal/sim" headers scope the benchmark names; value
 # fields precede their unit tokens (ns/op, allocs/op). With -count > 1
@@ -121,6 +130,8 @@ fail=$(awk -F'\t' -v ns_thr="$NS_THR" -v alloc_thr="$ALLOC_THR" -v alloc_slack="
   {
     seen[$1] = 1
     if (!($1 in base_ns)) { printf "new       %-48s ns/op=%s allocs/op=%s (no baseline)\n", $1, $2, $3; next }
+    # Fleet benchmarks are recorded, never gated (see header).
+    if ($1 ~ /^harness\/FleetWarm/) next
     ns = $2 + 0; bns = base_ns[$1] + 0
     al = $3 + 0; bal = base_allocs[$1] + 0
     if (bns > 0 && ns > bns * (1 + ns_thr)) {
